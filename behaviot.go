@@ -1,0 +1,162 @@
+// Package behaviot is a Go implementation of BehavIoT (Hu, Dubois,
+// Choffnes — IMC 2023): measuring smart-home IoT behavior using
+// network-inferred behavior models.
+//
+// BehavIoT watches the (typically encrypted) IP traffic of an IoT
+// deployment at the gateway and builds three kinds of models:
+//
+//   - Device periodic models: DFT+autocorrelation mining of per-
+//     (device, destination, protocol) traffic groups, classified online
+//     with a timer + DBSCAN hybrid.
+//   - Device user-action models: one binary Random Forest per user
+//     activity over 21 flow features.
+//   - A system behavior model: a probabilistic finite state machine
+//     (Synoptic-style inference) over temporally correlated user-event
+//     traces.
+//
+// Three deviation metrics quantify behavior change over time: the
+// periodic-event metric M_p = ln(|T0−T|/T + 1), the short-term trace
+// metric A_T = 1 − ln(P_T), and the long-term transition-frequency
+// z-score.
+//
+// # Quick start
+//
+//	monitor, err := behaviot.Train(idleFlows, labeledFlows, behaviot.DefaultConfig())
+//	events := monitor.Classify(liveFlows)
+//	traces := monitor.LearnSystem(events)
+//	devs := monitor.Deviations(newEvents, newTraces, windowEnd)
+//
+// Flows are produced from packets by NewAssembler (see the flows
+// documentation) or loaded from pcap files with the cmd/gendata and
+// cmd/behaviot tools. See examples/ for complete programs.
+package behaviot
+
+import (
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/flows"
+	"behaviot/internal/pfsm"
+)
+
+// Re-exported core types. The aliases make the root package the single
+// import most applications need.
+type (
+	// Flow is one annotated flow burst, the unit of event inference.
+	Flow = flows.Flow
+	// GroupKey identifies a (device, destination domain, protocol)
+	// traffic group.
+	GroupKey = flows.GroupKey
+	// Event is one classified flow (periodic / user / aperiodic).
+	Event = core.Event
+	// EventClass is the event type.
+	EventClass = core.EventClass
+	// Deviation is one significant behavior deviation.
+	Deviation = core.Deviation
+	// PeriodicModel is one device periodic behavior model.
+	PeriodicModel = core.PeriodicModel
+	// Trace is a sequence of user-event labels.
+	Trace = pfsm.Trace
+	// PFSM is the system behavior model.
+	PFSM = pfsm.Model
+	// Config bundles pipeline configuration.
+	Config = core.Config
+)
+
+// Event classes.
+const (
+	EventPeriodic  = core.EventPeriodic
+	EventUser      = core.EventUser
+	EventAperiodic = core.EventAperiodic
+)
+
+// Deviation kinds.
+const (
+	DevPeriodic  = core.DevPeriodic
+	DevShortTerm = core.DevShortTerm
+	DevLongTerm  = core.DevLongTerm
+)
+
+// DefaultConfig returns the paper's parameterization (1 s burst gap,
+// 1 min trace gap, 3-sigma spectral significance, timer+DBSCAN periodic
+// classification, binary Random Forests).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Monitor is a trained BehavIoT instance: device behavior models plus,
+// once LearnSystem has run, the system behavior model and deviation
+// baselines.
+type Monitor struct {
+	pipe *core.Pipeline
+}
+
+// Train fits device behavior models: periodic models from idle traffic
+// and user-action models from labeled activity flows ("device:activity"
+// label → flows).
+func Train(idle []*Flow, labeled map[string][]*Flow, cfg Config) (*Monitor, error) {
+	p, err := core.Train(idle, labeled, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{pipe: p}, nil
+}
+
+// Pipeline exposes the underlying pipeline for advanced use (ablation,
+// direct access to classifiers).
+func (m *Monitor) Pipeline() *core.Pipeline { return m.pipe }
+
+// Classify partitions flows into periodic, user and aperiodic events.
+func (m *Monitor) Classify(fs []*Flow) []Event { return m.pipe.Classify(fs) }
+
+// EventTraces groups user events into temporally correlated traces.
+func (m *Monitor) EventTraces(events []Event) []Trace { return m.pipe.EventTraces(events) }
+
+// LearnSystem infers the PFSM system model from the user events in the
+// given event stream and calibrates the deviation baselines. It returns
+// the training traces.
+func (m *Monitor) LearnSystem(events []Event) []Trace {
+	traces := m.pipe.TrainSystem(events, pfsm.Options{})
+	m.pipe.Calibrate(traces)
+	return traces
+}
+
+// System returns the PFSM system model (nil before LearnSystem).
+func (m *Monitor) System() *PFSM { return m.pipe.System }
+
+// PeriodicModels returns the trained periodic models by traffic group.
+func (m *Monitor) PeriodicModels() map[GroupKey]*PeriodicModel {
+	return m.pipe.Periodic.Models()
+}
+
+// ResetTimers clears the periodic classifier's timer anchors; call it
+// between independent analysis windows.
+func (m *Monitor) ResetTimers() { m.pipe.Periodic.Reset() }
+
+// Deviations runs all three deviation metrics over one analysis window:
+// events are the window's classified events, traces its user-event traces
+// (pass nil to derive them from events), and windowEnd closes the
+// count-up timers for silent periodic groups.
+func (m *Monitor) Deviations(events []Event, traces []Trace, windowEnd time.Time) []Deviation {
+	if traces == nil {
+		traces = m.pipe.EventTraces(events)
+	}
+	var out []Deviation
+	out = append(out, m.pipe.PeriodicDeviations(events, windowEnd)...)
+	out = append(out, m.pipe.ShortTermDeviations(traces, windowEnd)...)
+	out = append(out, m.pipe.LongTermDeviations(traces, windowEnd)...)
+	return out
+}
+
+// PeriodicDeviations runs only the periodic-event metric.
+func (m *Monitor) PeriodicDeviations(events []Event, windowEnd time.Time) []Deviation {
+	return m.pipe.PeriodicDeviations(events, windowEnd)
+}
+
+// ShortTermDeviations runs only the short-term PFSM metric.
+func (m *Monitor) ShortTermDeviations(traces []Trace, at time.Time) []Deviation {
+	return m.pipe.ShortTermDeviations(traces, at)
+}
+
+// LongTermDeviations runs only the long-term PFSM metric.
+func (m *Monitor) LongTermDeviations(traces []Trace, at time.Time) []Deviation {
+	return m.pipe.LongTermDeviations(traces, at)
+}

@@ -1,0 +1,113 @@
+package behaviot
+
+import (
+	"testing"
+	"time"
+
+	"behaviot/internal/datasets"
+	"behaviot/internal/testbed"
+)
+
+// newTestMonitor trains a Monitor on a tiny deployment via the public API.
+func newTestMonitor(t testing.TB) (*Monitor, *testbed.Testbed, []*testbed.DeviceProfile) {
+	t.Helper()
+	tb := testbed.New()
+	devices := []*testbed.DeviceProfile{
+		tb.Device("TPLink Plug"),
+		tb.Device("Ring Camera"),
+		tb.Device("Gosund Bulb"),
+	}
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	labeled := map[string][]*Flow{}
+	for _, s := range datasets.Activity(tb, 2, 10) {
+		for _, d := range devices {
+			if s.Device == d.Name {
+				labeled[s.Label] = append(labeled[s.Label], s.Flows...)
+			}
+		}
+	}
+	m, err := Train(idle, labeled, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tb, devices
+}
+
+func TestFacadeTrainAndClassify(t *testing.T) {
+	m, tb, devices := newTestMonitor(t)
+	if len(m.PeriodicModels()) == 0 {
+		t.Fatal("no periodic models")
+	}
+	day := datasets.Idle(tb, 9, datasets.DefaultStart.Add(3*24*time.Hour), 1, devices)
+	m.ResetTimers()
+	events := m.Classify(day)
+	if len(events) != len(day) {
+		t.Fatalf("events %d != flows %d", len(events), len(day))
+	}
+	periodic := 0
+	for _, e := range events {
+		if e.Class == EventPeriodic {
+			periodic++
+		}
+	}
+	if frac := float64(periodic) / float64(len(events)); frac < 0.95 {
+		t.Errorf("periodic fraction = %.3f", frac)
+	}
+}
+
+func TestFacadeSystemModelAndDeviations(t *testing.T) {
+	m, tb, devices := newTestMonitor(t)
+	names := map[string]bool{}
+	for _, d := range devices {
+		names[d.Name] = true
+	}
+	routine := datasets.Routine(tb, 3, datasets.DefaultStart.Add(7*24*time.Hour),
+		datasets.RoutineConfig{Days: 1, RunsPerDay: 15, DirectPerDay: 3})
+	var fs []*Flow
+	for _, f := range routine.Flows {
+		if names[f.Device] {
+			fs = append(fs, f)
+		}
+	}
+	events := m.Classify(fs)
+	traces := m.LearnSystem(events)
+	if m.System() == nil {
+		t.Fatal("no system model")
+	}
+	if len(traces) == 0 {
+		t.Fatal("no traces")
+	}
+	for _, tr := range traces {
+		if !m.System().Accepts(tr) {
+			t.Fatalf("training trace rejected: %v", tr)
+		}
+	}
+	// A clean window should be quiet; a storm should not.
+	end := routine.End
+	quiet := m.Deviations(events, traces, end)
+	storm := datasets.RepeatEventInTrace(traces, traces[0][0], 12)
+	noisy := m.ShortTermDeviations(storm, end)
+	noisy = append(noisy, m.LongTermDeviations(storm, end)...)
+	if len(noisy) == 0 {
+		t.Error("storm not detected via facade")
+	}
+	t.Logf("quiet window: %d deviations; storm: %d", len(quiet), len(noisy))
+}
+
+func TestFacadeEventTraces(t *testing.T) {
+	m, _, _ := newTestMonitor(t)
+	base := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	events := []Event{
+		{Class: EventUser, Label: "a:x", Time: base},
+		{Class: EventUser, Label: "b:y", Time: base.Add(10 * time.Second)},
+		{Class: EventPeriodic, Label: "ignored", Time: base.Add(20 * time.Second)},
+		{Class: EventUser, Label: "c:z", Time: base.Add(10 * time.Minute)},
+	}
+	traces := m.EventTraces(events)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	if len(traces[0]) != 2 || traces[0][0] != "a:x" {
+		t.Errorf("trace 0 = %v", traces[0])
+	}
+}

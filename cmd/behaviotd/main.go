@@ -1,0 +1,393 @@
+// Command behaviotd is a BehavIoT monitoring daemon: it trains behavior
+// models, then watches a packet stream (a pcap replayed at capture pace or
+// as fast as possible, or a continuous simulator feed) and serves live
+// status over HTTP — the home-gateway deployment the paper proposes for
+// anomaly detection (§7.2).
+//
+// Endpoints:
+//
+//	GET /healthz     liveness probe
+//	GET /status      JSON counters (packets, flows, events by class, deviations)
+//	GET /events      most recent user events (JSON array)
+//	GET /deviations  most recent deviations (JSON array)
+//	GET /metrics     Prometheus-style text exposition
+//
+// Usage:
+//
+//	behaviotd -listen :8650 -replay capture.pcap -idle idle.pcap \
+//	          -devices devices.csv [-sim]
+//
+// With -sim (no capture needed) the daemon trains on the bundled testbed
+// simulator and feeds itself a continuous synthetic day, which makes it a
+// self-contained demo:
+//
+//	behaviotd -listen :8650 -sim
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/netip"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/datasets"
+	"behaviot/internal/flows"
+	"behaviot/internal/netparse"
+	"behaviot/internal/pcapio"
+	"behaviot/internal/pfsm"
+	"behaviot/internal/stream"
+	"behaviot/internal/testbed"
+)
+
+// ringSize bounds the recent-event and recent-deviation buffers.
+const ringSize = 256
+
+// server holds the daemon's shared state: mu guards the stream monitor
+// (owned by the feeder goroutine, sampled by HTTP handlers) and ringMu
+// guards the recent-event buffers. They are separate locks because the
+// monitor invokes the ring-buffer callbacks while mu is held.
+type server struct {
+	mu      sync.Mutex // guards monitor
+	monitor *stream.Monitor
+
+	ringMu     sync.Mutex // guards events, deviations
+	events     []stream.Event
+	deviations []stream.Deviation
+
+	started time.Time
+}
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8650", "HTTP listen address")
+		sim     = flag.Bool("sim", false, "self-contained demo: train on the simulator and feed synthetic traffic")
+		simRate = flag.Float64("simrate", 0, "simulator replay speed (0 = as fast as possible)")
+		idleP   = flag.String("idle", "", "idle training capture (pcap)")
+		devsP   = flag.String("devices", "", "device manifest CSV")
+		replayP = flag.String("replay", "", "capture to monitor (pcap)")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime)
+
+	srv := &server{started: time.Now()}
+	var feed func(*server)
+
+	if *sim {
+		feed = setupSimulator(srv, *simRate)
+	} else {
+		if *idleP == "" || *devsP == "" || *replayP == "" {
+			log.Fatal("need -idle, -devices and -replay (or -sim); see -h")
+		}
+		feed = setupReplay(srv, *idleP, *devsP, *replayP)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /status", srv.handleStatus)
+	mux.HandleFunc("GET /events", srv.handleEvents)
+	mux.HandleFunc("GET /deviations", srv.handleDeviations)
+	mux.HandleFunc("GET /metrics", srv.handleMetrics)
+
+	go feed(srv)
+	log.Printf("behaviotd listening on %s", *listen)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// record is the stream callback target. It runs while mu is held by the
+// feeder, so it must only take ringMu.
+func (s *server) record(e *stream.Event, d *stream.Deviation) {
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	if e != nil && e.Class == core.EventUser {
+		s.events = append(s.events, *e)
+		if len(s.events) > ringSize {
+			s.events = s.events[len(s.events)-ringSize:]
+		}
+	}
+	if d != nil {
+		s.deviations = append(s.deviations, *d)
+		if len(s.deviations) > ringSize {
+			s.deviations = s.deviations[len(s.deviations)-ringSize:]
+		}
+		log.Printf("DEVIATION [%s] %s score=%.2f %s", d.Kind, d.Device, d.Score, d.Detail)
+	}
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.monitor.Stats()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"stream_time":    st.StreamTime,
+		"packets":        st.Packets,
+		"flows":          st.Flows,
+		"periodic":       st.Periodic,
+		"user":           st.User,
+		"aperiodic":      st.Aperiodic,
+		"traces":         st.Traces,
+		"deviations":     st.Deviations,
+	})
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.ringMu.Lock()
+	out := make([]map[string]any, len(s.events))
+	for i, e := range s.events {
+		out[i] = map[string]any{
+			"time": e.Time, "device": e.Device,
+			"label": e.Label, "confidence": e.Confidence,
+		}
+	}
+	s.ringMu.Unlock()
+	writeJSON(w, out)
+}
+
+func (s *server) handleDeviations(w http.ResponseWriter, r *http.Request) {
+	s.ringMu.Lock()
+	out := make([]map[string]any, len(s.deviations))
+	for i, d := range s.deviations {
+		out[i] = map[string]any{
+			"time": d.Time, "kind": d.Kind.String(), "device": d.Device,
+			"score": d.Score, "detail": d.Detail,
+		}
+	}
+	s.ringMu.Unlock()
+	writeJSON(w, out)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.monitor.Stats()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range []struct {
+		name string
+		val  int64
+	}{
+		{"behaviot_packets_total", st.Packets},
+		{"behaviot_flows_total", st.Flows},
+		{"behaviot_events_periodic_total", st.Periodic},
+		{"behaviot_events_user_total", st.User},
+		{"behaviot_events_aperiodic_total", st.Aperiodic},
+		{"behaviot_traces_total", st.Traces},
+		{"behaviot_deviations_total", st.Deviations},
+	} {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.val)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// setupSimulator trains on the bundled testbed and returns a feeder that
+// streams a continuous synthetic day (with a device malfunction around
+// hour 10 so the demo shows deviations).
+func setupSimulator(srv *server, rate float64) func(*server) {
+	log.Println("sim mode: training on the bundled testbed simulator...")
+	tb := testbed.New()
+	devices := []*testbed.DeviceProfile{
+		tb.Device("TPLink Plug"), tb.Device("Ring Camera"),
+		tb.Device("Gosund Bulb"), tb.Device("Echo Spot"),
+	}
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	labeled := map[string][]*flows.Flow{}
+	for _, s := range datasets.Activity(tb, 2, 12) {
+		for _, d := range devices {
+			if s.Device == d.Name {
+				labeled[s.Label] = append(labeled[s.Label], s.Flows...)
+			}
+		}
+	}
+	pipe, err := core.Train(idle, labeled, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	routine := datasets.Routine(tb, 3, datasets.DefaultStart.Add(7*24*time.Hour),
+		datasets.RoutineConfig{Days: 1, RunsPerDay: 15, DirectPerDay: 3})
+	var rfs []*flows.Flow
+	names := map[string]bool{}
+	for _, d := range devices {
+		names[d.Name] = true
+	}
+	for _, f := range routine.Flows {
+		if names[f.Device] {
+			rfs = append(rfs, f)
+		}
+	}
+	traces := pipe.TrainSystem(pipe.Classify(rfs), pfsm.Options{})
+	pipe.Calibrate(traces)
+	log.Printf("trained: %d periodic models, %d-state PFSM",
+		len(pipe.Periodic.Models()), pipe.System.NumStates())
+
+	srv.monitor = stream.NewMonitor(pipe, flows.Config{
+		LocalPrefix: tb.LocalPrefix, DeviceByIP: tb.DeviceByIP(),
+	}, stream.Config{
+		OnEvent:     func(e stream.Event) { srv.record(&e, nil) },
+		OnDeviation: func(d stream.Deviation) { srv.record(nil, &d) },
+	})
+
+	return func(s *server) {
+		g := testbed.NewGenerator(tb, 99)
+		start := datasets.DefaultStart.Add(30 * 24 * time.Hour)
+		var streams [][]*netparse.Packet
+		for _, d := range devices {
+			streams = append(streams, g.BootstrapDNS(d, start.Add(-time.Minute)))
+			streams = append(streams, g.PeriodicWindow(d, start, start.Add(24*time.Hour)))
+		}
+		// A user interaction and a malfunction to light up the dashboard.
+		plug := tb.Device("TPLink Plug")
+		streams = append(streams, g.Activity(plug, plug.Activity("on"), start.Add(2*time.Hour), 0))
+		pkts := testbed.MergePackets(streams...)
+		// Device malfunction: drop Gosund Bulb traffic after hour 10.
+		cut := start.Add(10 * time.Hour)
+		gosund := tb.Device("Gosund Bulb").IP
+		kept := pkts[:0]
+		for _, p := range pkts {
+			if p.Timestamp.After(cut) && (p.SrcIP == gosund || p.DstIP == gosund) {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		log.Printf("replaying %d synthetic packets (24 simulated hours)", len(kept))
+		replayPackets(s, kept, rate)
+		s.mu.Lock()
+		s.monitor.Close()
+		s.mu.Unlock()
+		log.Println("replay complete; daemon keeps serving status")
+	}
+}
+
+// setupReplay loads training captures and returns a feeder replaying the
+// target capture.
+func setupReplay(srv *server, idlePath, devicesPath, replayPath string) func(*server) {
+	deviceByIP, err := loadDevices(devicesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prefix := netip.MustParsePrefix("192.168.0.0/16")
+	acfg := flows.Config{LocalPrefix: prefix, DeviceByIP: deviceByIP}
+
+	idlePkts, err := readPcap(idlePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := flows.NewAssembler(acfg)
+	for _, p := range idlePkts {
+		a.Add(p)
+	}
+	idle := a.Flows()
+	log.Printf("idle training: %d packets → %d flows", len(idlePkts), len(idle))
+	pipe, err := core.Train(idle, map[string][]*flows.Flow{}, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.monitor = stream.NewMonitor(pipe, acfg, stream.Config{
+		OnEvent:     func(e stream.Event) { srv.record(&e, nil) },
+		OnDeviation: func(d stream.Deviation) { srv.record(nil, &d) },
+	})
+	return func(s *server) {
+		pkts, err := readPcap(replayPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("replaying %d packets from %s", len(pkts), replayPath)
+		replayPackets(s, pkts, 0)
+		s.mu.Lock()
+		s.monitor.Close()
+		s.mu.Unlock()
+	}
+}
+
+// replayPackets feeds packets into the monitor, optionally paced at
+// rate× capture speed (0 = unpaced).
+func replayPackets(s *server, pkts []*netparse.Packet, rate float64) {
+	var prev time.Time
+	for i, p := range pkts {
+		if rate > 0 && i > 0 {
+			gap := p.Timestamp.Sub(prev)
+			time.Sleep(time.Duration(float64(gap) / rate))
+		}
+		prev = p.Timestamp
+		s.mu.Lock()
+		s.monitor.Feed(p)
+		s.mu.Unlock()
+	}
+}
+
+func readPcap(path string) ([]*netparse.Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := pcapio.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	var out []*netparse.Packet
+	for {
+		ts, data, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		p, err := netparse.Decode(data)
+		if err != nil {
+			continue // skip undecodable frames, as a gateway would
+		}
+		p.Payload = append([]byte(nil), p.Payload...)
+		p.Timestamp = ts
+		out = append(out, p)
+	}
+}
+
+func loadDevices(path string) (map[netip.Addr]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[netip.Addr]string{}
+	sc := bufio.NewScanner(f)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || first {
+			first = false
+			continue
+		}
+		parts := strings.SplitN(line, ",", 4)
+		if len(parts) < 2 {
+			continue
+		}
+		ip, err := netip.ParseAddr(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad IP %q", path, parts[0])
+		}
+		out[ip] = parts[1]
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,95 @@
+// Quickstart: train BehavIoT on a simulated smart home, classify a fresh
+// day of traffic, and print the learned behavior models.
+//
+// The example uses the bundled 49-device testbed simulator as its traffic
+// source; with real captures, the same API consumes flows assembled from
+// pcap files (see cmd/behaviot).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"behaviot"
+	"behaviot/internal/datasets"
+	"behaviot/internal/testbed"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small deployment: two plugs, a bulb, a camera and a speaker.
+	tb := testbed.New()
+	devices := []*testbed.DeviceProfile{
+		tb.Device("TPLink Plug"),
+		tb.Device("Wemo Plug"),
+		tb.Device("Gosund Bulb"),
+		tb.Device("Ring Camera"),
+		tb.Device("Echo Spot"),
+	}
+
+	// 1. Collect an idle capture (no user interactions) and a labeled
+	//    activity capture — the paper's controlled experiments.
+	log.Println("generating controlled datasets...")
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices)
+	var labeled = map[string][]*behaviot.Flow{}
+	for _, s := range datasets.Activity(tb, 2, 15) {
+		for _, d := range devices {
+			if s.Device == d.Name {
+				labeled[s.Label] = append(labeled[s.Label], s.Flows...)
+			}
+		}
+	}
+	log.Printf("idle: %d flows; activities: %d labels", len(idle), len(labeled))
+
+	// 2. Train the device behavior models.
+	monitor, err := behaviot.Train(idle, labeled, behaviot.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect the periodic models (the paper's proto-domain-period
+	//    notation, e.g. "TCP-devs.tplinkcloud.com-236").
+	fmt.Println("\nLearned periodic models:")
+	var lines []string
+	for _, m := range monitor.PeriodicModels() {
+		lines = append(lines, fmt.Sprintf("  %-18s %s", m.Key.Device, m))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+
+	// 4. Classify a fresh day of traffic.
+	day := datasets.Idle(tb, 42, datasets.DefaultStart.Add(10*24*time.Hour), 1, devices)
+	// Sprinkle in two user actions.
+	g := testbed.NewGenerator(tb, 7)
+	plug := tb.Device("TPLink Plug")
+	at := datasets.DefaultStart.Add(10*24*time.Hour + 9*time.Hour)
+	pkts := g.Activity(plug, plug.Activity("on"), at, 0)
+	pkts = append(pkts, g.Activity(plug, plug.Activity("off"), at.Add(2*time.Hour), 1)...)
+	day = append(day, datasets.Assemble(tb, pkts)...)
+
+	monitor.ResetTimers()
+	events := monitor.Classify(day)
+	var periodic, user, aperiodic int
+	for _, e := range events {
+		switch e.Class {
+		case behaviot.EventPeriodic:
+			periodic++
+		case behaviot.EventUser:
+			user++
+			fmt.Printf("\nDetected user event: %s at %s (confidence %.2f)\n",
+				e.Label, e.Time.Format(time.Kitchen), e.Confidence)
+		default:
+			aperiodic++
+		}
+	}
+	fmt.Printf("\nEvent partition: %d periodic (%.2f%%), %d user, %d aperiodic\n",
+		periodic, 100*float64(periodic)/float64(len(events)), user, aperiodic)
+	fmt.Println("(the paper finds ~97.8% of IoT traffic is periodic background)")
+}

@@ -1,0 +1,3 @@
+module behaviot
+
+go 1.22

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"behaviot/internal/dbscan"
+	"behaviot/internal/features"
+	"behaviot/internal/flows"
+)
+
+// DiscoveredActivity is one unsupervised activity cluster found among a
+// device's non-periodic flows.
+type DiscoveredActivity struct {
+	// Label is a synthesized name ("<device>:cluster<N>").
+	Label string
+	// Device owns the cluster.
+	Device string
+	// Flows are the member flows.
+	Flows []*flows.Flow
+	// Centroid is the mean feature vector (unnormalized).
+	Centroid []float64
+}
+
+// DiscoverConfig tunes unsupervised activity discovery.
+type DiscoverConfig struct {
+	// MinClusterSize is DBSCAN's MinPts (default 5): an activity must
+	// repeat at least this often to become a model.
+	MinClusterSize int
+	// EpsFloor is the minimum neighborhood radius (default 1.0).
+	EpsFloor float64
+}
+
+func (c DiscoverConfig) withDefaults() DiscoverConfig {
+	if c.MinClusterSize <= 0 {
+		c.MinClusterSize = 5
+	}
+	if c.EpsFloor <= 0 {
+		c.EpsFloor = 1.0
+	}
+	return c
+}
+
+// DiscoverActivities implements the paper's §7.3 fallback for deployments
+// without ground-truth labels: the flows a trained periodic classifier
+// does NOT recognize as background are clustered per device (DBSCAN over
+// the Table 8 features), and each recurring cluster becomes a candidate
+// user-activity model. The caller can then name the clusters (e.g. by
+// triggering a known action and seeing which cluster lights up) and feed
+// them to TrainUserActionModels as labeled data.
+func DiscoverActivities(pc *PeriodicClassifier, fs []*flows.Flow, cfg DiscoverConfig) []DiscoveredActivity {
+	cfg = cfg.withDefaults()
+	// Partition out periodic background with the trained classifier.
+	byDevice := map[string][]*flows.Flow{}
+	sorted := append([]*flows.Flow(nil), fs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+	for _, f := range sorted {
+		if pc.Classify(f) {
+			continue
+		}
+		byDevice[f.Device] = append(byDevice[f.Device], f)
+	}
+	devices := make([]string, 0, len(byDevice))
+	for d := range byDevice {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+
+	var out []DiscoveredActivity
+	for _, device := range devices {
+		residual := byDevice[device]
+		if len(residual) < cfg.MinClusterSize {
+			continue
+		}
+		vecs := make([][]float64, len(residual))
+		for i, f := range residual {
+			vecs[i] = features.Extract(f)
+		}
+		norm := features.FitNormalizer(vecs)
+		normed := norm.ApplyAll(vecs)
+		eps := adaptiveEps(normed, cfg.EpsFloor)
+		res := dbscan.Fit(normed, dbscan.Config{Eps: eps, MinPts: cfg.MinClusterSize})
+		for c := 0; c < res.NumClusters; c++ {
+			da := DiscoveredActivity{
+				Label:  fmt.Sprintf("%s:cluster%d", device, c),
+				Device: device,
+			}
+			centroid := make([]float64, features.Dim)
+			for i, l := range res.Labels {
+				if l != c {
+					continue
+				}
+				da.Flows = append(da.Flows, residual[i])
+				for d := range centroid {
+					centroid[d] += vecs[i][d]
+				}
+			}
+			if len(da.Flows) == 0 {
+				continue
+			}
+			for d := range centroid {
+				centroid[d] /= float64(len(da.Flows))
+			}
+			da.Centroid = centroid
+			out = append(out, da)
+		}
+	}
+	return out
+}
+
+// LabeledFromDiscovery converts discovered clusters into the label→flows
+// map TrainUserActionModels consumes, enabling fully unsupervised
+// bootstrap of user-action models.
+func LabeledFromDiscovery(discovered []DiscoveredActivity) map[string][]*flows.Flow {
+	out := map[string][]*flows.Flow{}
+	for _, d := range discovered {
+		out[d.Label] = append(out[d.Label], d.Flows...)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"behaviot/internal/datasets"
+	"behaviot/internal/flows"
+	"behaviot/internal/testbed"
+)
+
+func TestDiscoverActivitiesUnsupervised(t *testing.T) {
+	// §7.3: without ground-truth labels, recurring non-background flow
+	// shapes should surface as clusters separating distinct activities.
+	tb := testbed.New()
+	dev := tb.Device("TPLink Plug")
+	devices := []*testbed.DeviceProfile{dev}
+
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	models, _ := InferPeriodicModels(idle, DefaultPeriodicConfig())
+	pc := NewPeriodicClassifier(models, DefaultPeriodicConfig())
+
+	// Unlabeled mixed capture: background plus repeated on/off actions.
+	g := testbed.NewGenerator(tb, 44)
+	start := datasets.DefaultStart.Add(3 * 24 * time.Hour)
+	day := datasets.Idle(tb, 9, start, 1, devices)
+	mixed := append([]*flows.Flow(nil), day...)
+	onAct, offAct := dev.Activity("on"), dev.Activity("off")
+	for i := 0; i < 12; i++ {
+		at := start.Add(time.Duration(2+i) * time.Hour)
+		mixed = append(mixed, datasets.Assemble(tb, g.Activity(dev, onAct, at, i))...)
+		mixed = append(mixed, datasets.Assemble(tb, g.Activity(dev, offAct, at.Add(30*time.Minute), i))...)
+	}
+
+	pc.Reset()
+	discovered := DiscoverActivities(pc, mixed, DiscoverConfig{})
+	if len(discovered) < 1 {
+		t.Fatal("no activity clusters discovered")
+	}
+	// Clusters must belong to the device and be recurring.
+	totalClustered := 0
+	for _, d := range discovered {
+		if d.Device != "TPLink Plug" {
+			t.Errorf("foreign cluster %q", d.Label)
+		}
+		if !strings.HasPrefix(d.Label, "TPLink Plug:cluster") {
+			t.Errorf("label = %q", d.Label)
+		}
+		if len(d.Flows) < 5 {
+			t.Errorf("cluster %s too small: %d", d.Label, len(d.Flows))
+		}
+		if len(d.Centroid) == 0 {
+			t.Error("missing centroid")
+		}
+		totalClustered += len(d.Flows)
+	}
+	// The 24 injected action flows should dominate the clusters.
+	if totalClustered < 12 {
+		t.Errorf("clustered flows = %d, want >= 12", totalClustered)
+	}
+	t.Logf("discovered %d clusters covering %d flows", len(discovered), totalClustered)
+
+	// The clusters feed straight into supervised training.
+	labeled := LabeledFromDiscovery(discovered)
+	if len(labeled) != len(discovered) {
+		t.Error("LabeledFromDiscovery lost clusters")
+	}
+	ua, err := TrainUserActionModels(labeled, idle, DefaultUserActionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh repetition of "on" classifies into some discovered cluster.
+	fresh := datasets.Assemble(tb, g.Activity(dev, onAct, start.Add(40*time.Hour), 99))
+	matched := false
+	for _, f := range fresh {
+		if _, _, ok := ua.Classify(f); ok {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Error("fresh activity not recognized by discovered models")
+	}
+}
+
+func TestDiscoverActivitiesEmptyResidual(t *testing.T) {
+	tb := testbed.New()
+	dev := tb.Device("TPLink Plug")
+	devices := []*testbed.DeviceProfile{dev}
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	models, _ := InferPeriodicModels(idle, DefaultPeriodicConfig())
+	pc := NewPeriodicClassifier(models, DefaultPeriodicConfig())
+	pc.Reset()
+	// Pure background: nearly everything is classified periodic, leaving
+	// too few residual flows to cluster.
+	discovered := DiscoverActivities(pc, idle, DiscoverConfig{MinClusterSize: 10})
+	for _, d := range discovered {
+		if len(d.Flows) >= 10 {
+			t.Errorf("unexpected large cluster %s (%d flows) in pure background", d.Label, len(d.Flows))
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"behaviot/internal/flows"
+)
+
+// UpdateReport summarizes a periodic-model refresh.
+type UpdateReport struct {
+	// Added lists traffic groups that appeared for the first time.
+	Added []flows.GroupKey
+	// Drifted lists groups whose period changed beyond DriftTolerance
+	// (e.g. a firmware update altering a heartbeat interval); their
+	// models were replaced.
+	Drifted []flows.GroupKey
+	// Refreshed lists groups re-observed with an unchanged period; their
+	// cluster models were refreshed with the new window's flows.
+	Refreshed []flows.GroupKey
+	// Kept lists groups not observed in the window (device quiet or
+	// offline); their old models remain.
+	Kept []flows.GroupKey
+}
+
+// DriftTolerance is the relative period change above which a group counts
+// as drifted (10%).
+const DriftTolerance = 0.10
+
+// UpdatePeriodicModels implements the paper's §7.3 recommendation to
+// periodically retrain: it re-infers periodic models from a recent idle
+// window and merges them into the pipeline. Groups whose period drifted
+// are replaced (so the deviation metrics track the new behavior instead
+// of flagging every event forever); unchanged groups get their cluster
+// models refreshed; unobserved groups are kept as-is.
+func (p *Pipeline) UpdatePeriodicModels(recent []*flows.Flow, cfg PeriodicConfig) UpdateReport {
+	fresh, _ := InferPeriodicModels(recent, cfg)
+	old := p.Periodic.Models()
+	report := UpdateReport{}
+	for key, m := range fresh {
+		prev, existed := old[key]
+		switch {
+		case !existed:
+			report.Added = append(report.Added, key)
+		case math.Abs(m.Period-prev.Period)/prev.Period > DriftTolerance:
+			report.Drifted = append(report.Drifted, key)
+		default:
+			report.Refreshed = append(report.Refreshed, key)
+		}
+		old[key] = m
+	}
+	for key := range old {
+		if _, ok := fresh[key]; !ok {
+			report.Kept = append(report.Kept, key)
+		}
+	}
+	sortKeys(report.Added)
+	sortKeys(report.Drifted)
+	sortKeys(report.Refreshed)
+	sortKeys(report.Kept)
+	return report
+}
+
+func sortKeys(keys []flows.GroupKey) {
+	sort.Slice(keys, func(i, j int) bool { return groupKeyLess(keys[i], keys[j]) })
+}

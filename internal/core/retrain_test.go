@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUpdatePeriodicModelsDrift(t *testing.T) {
+	cfg := DefaultPeriodicConfig()
+	// Train on a 60 s heartbeat plus a stable 120 s group.
+	training := append(
+		mkPeriodicFlows("Dev", "hb.example.com", 60, 300),
+		mkPeriodicFlows("Dev", "stable.example.com", 120, 150)...,
+	)
+	models, _ := InferPeriodicModels(training, cfg)
+	pipe := &Pipeline{Periodic: NewPeriodicClassifier(models, cfg), TraceGap: time.Minute}
+
+	// Firmware update: the heartbeat moves to 90 s; the stable group is
+	// unchanged; a new group appears; a third group goes silent.
+	silent := mkPeriodicFlows("Dev", "gone.example.com", 30, 400)
+	m2, _ := InferPeriodicModels(silent, cfg)
+	for k, m := range m2 {
+		models[k] = m
+	}
+
+	recent := append(
+		mkPeriodicFlows("Dev", "hb.example.com", 90, 200),
+		mkPeriodicFlows("Dev", "stable.example.com", 120, 150)...,
+	)
+	recent = append(recent, mkPeriodicFlows("Dev", "new.example.com", 45, 300)...)
+
+	report := pipe.UpdatePeriodicModels(recent, cfg)
+
+	has := func(domain string, list []string) bool {
+		for _, d := range list {
+			if d == domain {
+				return true
+			}
+		}
+		return false
+	}
+	var drifted, added, refreshed, kept []string
+	for _, k := range report.Drifted {
+		drifted = append(drifted, k.Domain)
+	}
+	for _, k := range report.Added {
+		added = append(added, k.Domain)
+	}
+	for _, k := range report.Refreshed {
+		refreshed = append(refreshed, k.Domain)
+	}
+	for _, k := range report.Kept {
+		kept = append(kept, k.Domain)
+	}
+	if !has("hb.example.com", drifted) {
+		t.Errorf("60→90 s drift not reported: %v", drifted)
+	}
+	if !has("new.example.com", added) {
+		t.Errorf("new group not reported: %v", added)
+	}
+	if !has("stable.example.com", refreshed) {
+		t.Errorf("stable group not refreshed: %v", refreshed)
+	}
+	if !has("gone.example.com", kept) {
+		t.Errorf("silent group not kept: %v", kept)
+	}
+
+	// The updated model must carry the new period.
+	for key, m := range pipe.Periodic.Models() {
+		if key.Domain == "hb.example.com" {
+			if m.Period < 80 || m.Period > 100 {
+				t.Errorf("updated period = %v, want ~90", m.Period)
+			}
+		}
+	}
+}
+
+func TestRetrainingRestoresCleanDeviationScan(t *testing.T) {
+	cfg := DefaultPeriodicConfig()
+	training := mkPeriodicFlows("Dev", "hb.example.com", 60, 300)
+	models, _ := InferPeriodicModels(training, cfg)
+	pipe := &Pipeline{Periodic: NewPeriodicClassifier(models, cfg), TraceGap: time.Minute}
+	pipe.Baseline = &Baseline{PeriodicThreshold: DefaultPeriodicThreshold, LongTermZ: 1.96, ShortTermSigmas: 3}
+
+	// After a firmware update the heartbeat runs at 400 s: every event
+	// deviates against the stale 60 s model.
+	updated := mkPeriodicFlows("Dev", "hb.example.com", 400, 100)
+	pipe.Periodic.Reset()
+	events := pipe.Classify(updated)
+	windowEnd := updated[len(updated)-1].Start.Add(time.Minute)
+	before := pipe.PeriodicDeviations(events, windowEnd)
+	if len(before) == 0 {
+		t.Fatal("stale model produced no deviations for drifted traffic")
+	}
+
+	// Retrain on the new window: the scan comes back clean.
+	pipe.UpdatePeriodicModels(updated, cfg)
+	pipe.Periodic.Reset()
+	events = pipe.Classify(updated)
+	after := pipe.PeriodicDeviations(events, windowEnd)
+	if len(after) >= len(before) {
+		t.Errorf("retraining did not reduce deviations: %d → %d", len(before), len(after))
+	}
+	t.Logf("deviations before retrain: %d, after: %d", len(before), len(after))
+}

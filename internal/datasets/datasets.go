@@ -1,0 +1,287 @@
+// Package datasets synthesizes the paper's four datasets (§3) from the
+// testbed simulator and assembles them into annotated flows via the real
+// gateway pipeline (packet stream → flow bursts):
+//
+//   - Idle: N days of pure background traffic from all 49 devices.
+//   - Activity: ≥30 labeled repetitions of every activity on the
+//     activity-capable devices, with ground truth from the generator.
+//   - Routine: one week of the 18 routine devices running the Table 7
+//     automations plus direct voice/app interactions over idle background.
+//   - Uncontrolled: 87 days of ad-hoc usage with scripted incidents
+//     (relocation, misactivation storm, device resets, outages,
+//     malfunction) reproducing the §6.2 cases.
+package datasets
+
+import (
+	"math/rand"
+	"strings"
+	"time"
+
+	"behaviot/internal/flows"
+	"behaviot/internal/netparse"
+	"behaviot/internal/testbed"
+)
+
+// DefaultStart anchors the controlled datasets at the paper's collection
+// period (August 2021).
+var DefaultStart = time.Date(2021, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// NewAssembler builds a flow assembler configured for the testbed, with
+// the reverse-DNS fallback for the local resolver registered.
+func NewAssembler(tb *testbed.Testbed) *flows.Assembler {
+	a := flows.NewAssembler(flows.Config{
+		LocalPrefix: tb.LocalPrefix,
+		DeviceByIP:  tb.DeviceByIP(),
+	})
+	a.Resolver().AddReverse(tb.DomainIP[testbed.LocalDNSDomain], testbed.LocalDNSDomain)
+	// The gateway knows its DHCP leases: local devices resolve to
+	// "<name>.local", so device-to-device flows group under a stable
+	// local name.
+	for _, d := range tb.Devices {
+		a.Resolver().AddReverse(d.IP, localName(d.Name))
+	}
+	return a
+}
+
+// localName renders a device's mDNS-style local hostname.
+func localName(device string) string {
+	s := strings.ToLower(device)
+	s = strings.ReplaceAll(s, " ", "-")
+	return s + ".local"
+}
+
+// Assemble runs packets through a fresh testbed assembler.
+func Assemble(tb *testbed.Testbed, pkts []*netparse.Packet) []*flows.Flow {
+	a := NewAssembler(tb)
+	for _, p := range pkts {
+		a.Add(p)
+	}
+	return a.Flows()
+}
+
+// Idle generates the idle dataset: days of background-only traffic for the
+// given devices (all 49 when devices is nil), starting at start.
+func Idle(tb *testbed.Testbed, seed int64, start time.Time, days int, devices []*testbed.DeviceProfile) []*flows.Flow {
+	if devices == nil {
+		devices = tb.Devices
+	}
+	g := testbed.NewGenerator(tb, seed)
+	end := start.Add(time.Duration(days) * 24 * time.Hour)
+	var streams [][]*netparse.Packet
+	for _, d := range devices {
+		streams = append(streams, g.BootstrapDNS(d, start.Add(-time.Minute)))
+		streams = append(streams, g.PeriodicWindow(d, start, end))
+	}
+	return Assemble(tb, testbed.MergePackets(streams...))
+}
+
+// ActivitySample is one labeled repetition of a user activity.
+type ActivitySample struct {
+	Device   string
+	Activity string
+	Label    string // "device:activity"
+	Time     time.Time
+	Flows    []*flows.Flow
+}
+
+// Activity generates the activity dataset: reps labeled repetitions of
+// every activity on every activity-capable device. Each repetition is
+// captured in isolation (as in the paper's controlled experiments) so the
+// resulting flows carry exact ground truth.
+func Activity(tb *testbed.Testbed, seed int64, reps int) []ActivitySample {
+	g := testbed.NewGenerator(tb, seed)
+	var out []ActivitySample
+	at := DefaultStart
+	for _, dev := range tb.ActivityDevices() {
+		for ai := range dev.Activities {
+			act := &dev.Activities[ai]
+			for r := 0; r < reps; r++ {
+				a := NewAssembler(tb)
+				for _, p := range g.BootstrapDNS(dev, at.Add(-30*time.Second)) {
+					a.Add(p)
+				}
+				a.Flows() // drain DNS bootstrap flows
+				for _, p := range g.Activity(dev, act, at, r) {
+					a.Add(p)
+				}
+				fs := a.Flows()
+				out = append(out, ActivitySample{
+					Device:   dev.Name,
+					Activity: act.Name,
+					Label:    dev.Name + ":" + act.Name,
+					Time:     at,
+					Flows:    fs,
+				})
+				at = at.Add(2 * time.Minute)
+			}
+		}
+	}
+	return out
+}
+
+// LabeledFlows regroups activity samples into the label → flows map the
+// user-action trainer consumes.
+func LabeledFlows(samples []ActivitySample) map[string][]*flows.Flow {
+	out := map[string][]*flows.Flow{}
+	for _, s := range samples {
+		out[s.Label] = append(out[s.Label], s.Flows...)
+	}
+	return out
+}
+
+// ExecutedStep is one ground-truth user event of the routine dataset.
+type ExecutedStep struct {
+	Device   string
+	Activity string
+	Label    string
+	Time     time.Time
+}
+
+// Execution is one run of an automation (or a direct interaction).
+type Execution struct {
+	AutomationID string // "" for direct interactions
+	Steps        []ExecutedStep
+}
+
+// RoutineDataset is the routine dataset with its ground truth.
+type RoutineDataset struct {
+	Flows      []*flows.Flow
+	Executions []Execution
+	Start, End time.Time
+}
+
+// RoutineConfig tunes routine dataset generation.
+type RoutineConfig struct {
+	Days int // default 7 (one week, §3.2)
+	// RunsPerDay is the number of automation executions per day
+	// (default 25, yielding ≈200 traces over a week as in the paper).
+	RunsPerDay int
+	// DirectPerDay is the number of additional direct interactions per
+	// day (default 5).
+	DirectPerDay int
+	// IncludeBackground adds the routine devices' periodic traffic
+	// (default true via !OmitBackground).
+	OmitBackground bool
+}
+
+func (c RoutineConfig) withDefaults() RoutineConfig {
+	if c.Days <= 0 {
+		c.Days = 7
+	}
+	if c.RunsPerDay <= 0 {
+		c.RunsPerDay = 25
+	}
+	if c.DirectPerDay < 0 {
+		c.DirectPerDay = 0
+	} else if c.DirectPerDay == 0 {
+		c.DirectPerDay = 5
+	}
+	return c
+}
+
+// Routine generates the routine dataset: automations R1–R16 executed at
+// scheduled times over the routine devices' idle background, plus direct
+// interactions.
+func Routine(tb *testbed.Testbed, seed int64, start time.Time, cfg RoutineConfig) *RoutineDataset {
+	cfg = cfg.withDefaults()
+	g := testbed.NewGenerator(tb, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5EED))
+	end := start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+
+	var streams [][]*netparse.Packet
+	devices := tb.RoutineDevices()
+	if !cfg.OmitBackground {
+		for _, d := range devices {
+			streams = append(streams, g.BootstrapDNS(d, start.Add(-time.Minute)))
+			streams = append(streams, g.PeriodicWindow(d, start, end))
+		}
+	} else {
+		for _, d := range devices {
+			streams = append(streams, g.BootstrapDNS(d, start.Add(-time.Minute)))
+		}
+	}
+
+	ds := &RoutineDataset{Start: start, End: end}
+	rep := 0
+	for day := 0; day < cfg.Days; day++ {
+		dayStart := start.Add(time.Duration(day) * 24 * time.Hour)
+		times := spacedTimes(rng, dayStart, 24*time.Hour, cfg.RunsPerDay+cfg.DirectPerDay, 3*time.Minute)
+		for i, at := range times {
+			if i < cfg.RunsPerDay {
+				auto := &testbed.Automations[rng.Intn(len(testbed.Automations))]
+				exec, pkts := runAutomation(tb, g, auto, at, rep)
+				rep++
+				ds.Executions = append(ds.Executions, exec)
+				streams = append(streams, pkts)
+			} else {
+				dev := devices[rng.Intn(len(devices))]
+				act := &dev.Activities[rng.Intn(len(dev.Activities))]
+				pkts := g.Activity(dev, act, at, rep)
+				rep++
+				ds.Executions = append(ds.Executions, Execution{
+					Steps: []ExecutedStep{{
+						Device: dev.Name, Activity: act.Name,
+						Label: dev.Name + ":" + act.Name, Time: at,
+					}},
+				})
+				streams = append(streams, pkts)
+			}
+		}
+	}
+	ds.Flows = Assemble(tb, testbed.MergePackets(streams...))
+	return ds
+}
+
+// runAutomation synthesizes one automation execution.
+func runAutomation(tb *testbed.Testbed, g *testbed.Generator, auto *testbed.Automation, at time.Time, rep int) (Execution, []*netparse.Packet) {
+	exec := Execution{AutomationID: auto.ID}
+	var pkts []*netparse.Packet
+	t := at
+	for _, step := range auto.Steps {
+		t = t.Add(step.Delay)
+		dev := tb.Device(step.Device)
+		act := dev.Activity(step.Activity)
+		pkts = append(pkts, g.Activity(dev, act, t, rep)...)
+		exec.Steps = append(exec.Steps, ExecutedStep{
+			Device: step.Device, Activity: step.Activity,
+			Label: step.Device + ":" + step.Activity, Time: t,
+		})
+	}
+	return exec, pkts
+}
+
+// spacedTimes draws n random times within [start, start+span) that are at
+// least minGap apart, sorted.
+func spacedTimes(rng *rand.Rand, start time.Time, span time.Duration, n int, minGap time.Duration) []time.Time {
+	// Draw offsets on a grid of minGap slots to guarantee spacing.
+	slots := int(span / minGap)
+	if n > slots {
+		n = slots
+	}
+	chosen := map[int]bool{}
+	for len(chosen) < n {
+		chosen[rng.Intn(slots)] = true
+	}
+	out := make([]time.Time, 0, n)
+	for s := 0; s < slots; s++ {
+		if chosen[s] {
+			jitterNs := rng.Int63n(int64(minGap) / 2)
+			out = append(out, start.Add(time.Duration(s)*minGap+time.Duration(jitterNs)))
+		}
+	}
+	return out
+}
+
+// GroundTruthTraces converts routine executions into the expected
+// user-event traces (one per execution).
+func (ds *RoutineDataset) GroundTruthTraces() [][]string {
+	var out [][]string
+	for _, e := range ds.Executions {
+		var tr []string
+		for _, s := range e.Steps {
+			tr = append(tr, s.Label)
+		}
+		out = append(out, tr)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package datasets
+
+import (
+	"testing"
+
+	"behaviot/internal/testbed"
+)
+
+func TestLocalHubTrafficFlows(t *testing.T) {
+	tb := testbed.New()
+	devs := []*testbed.DeviceProfile{tb.Device("Philips Bulb"), tb.Device("Philips Hub")}
+	fs := Idle(tb, 1, DefaultStart, 1, devs)
+	localFlows := 0
+	for _, f := range fs {
+		if f.Device == "Philips Bulb" && f.Domain == "philips-hub.local" {
+			localFlows++
+			for _, p := range f.Packets {
+				if !p.Local {
+					t.Fatal("hub-sync packet not marked Local")
+				}
+			}
+		}
+	}
+	// Every-60s sync over a day ≈ 1440 bursts.
+	if localFlows < 1000 {
+		t.Errorf("local hub-sync flows = %d, want ~1440", localFlows)
+	}
+}

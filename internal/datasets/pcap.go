@@ -1,0 +1,72 @@
+package datasets
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"behaviot/internal/netparse"
+	"behaviot/internal/pcapio"
+)
+
+// WritePcap serializes a packet stream to a pcap file, encoding each
+// packet to real Ethernet/IP/transport wire format. Synthesized packets
+// whose WireLen exceeds their header+payload size are padded so the
+// on-the-wire length (and therefore the pipeline's size features)
+// round-trips exactly.
+func WritePcap(w io.Writer, pkts []*netparse.Packet) error {
+	// Nanosecond resolution preserves synthesized timestamps exactly.
+	pw, err := pcapio.NewNanoWriter(w)
+	if err != nil {
+		return err
+	}
+	for i, p := range pkts {
+		cp := *p
+		want := p.WireLen
+		if want > 0 && len(cp.Payload) == 0 {
+			// Metadata-only packet: materialize a payload of the right
+			// size so the wire length is preserved.
+			overhead := 54
+			if cp.Proto == netparse.ProtoUDP {
+				overhead = 42
+			}
+			if want > overhead {
+				cp.Payload = make([]byte, want-overhead)
+			}
+		}
+		wire, err := netparse.Encode(&cp)
+		if err != nil {
+			return fmt.Errorf("packet %d: %w", i, err)
+		}
+		if err := pw.WritePacket(p.Timestamp, wire); err != nil {
+			return fmt.Errorf("packet %d: %w", i, err)
+		}
+	}
+	return pw.Flush()
+}
+
+// ReadPcap decodes a pcap file back into a packet stream.
+func ReadPcap(r io.Reader) ([]*netparse.Packet, error) {
+	pr, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []*netparse.Packet
+	for {
+		ts, data, err := pr.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		p, err := netparse.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		// Detach the payload from the read buffer.
+		p.Payload = append([]byte(nil), p.Payload...)
+		p.Timestamp = ts
+		out = append(out, p)
+	}
+}

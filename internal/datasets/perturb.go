@@ -1,0 +1,143 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"behaviot/internal/pfsm"
+)
+
+// The perturbation operators below synthesize the deviation-evaluation
+// datasets of §5.3: event injection (Fig 4b and the new-event-sequence
+// test case), trace duplication (Fig 4c and the misactivation test case),
+// and event removal (the event-loss test case).
+
+// InjectNewEvents returns a copy of traces where each trace has k extra
+// events appended that produce transitions never seen in the originals
+// (synthetic labels), reproducing the Fig 4b datasets (k = 1..5).
+func InjectNewEvents(traces []pfsm.Trace, k int, seed int64) []pfsm.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]pfsm.Trace, len(traces))
+	for i, tr := range traces {
+		nt := append(pfsm.Trace(nil), tr...)
+		for j := 0; j < k; j++ {
+			pos := 0
+			if len(nt) > 0 {
+				pos = rng.Intn(len(nt) + 1)
+			}
+			label := fmt.Sprintf("synthetic:event%d", rng.Intn(1000))
+			nt = append(nt[:pos], append(pfsm.Trace{label}, nt[pos:]...)...)
+		}
+		out[i] = nt
+	}
+	return out
+}
+
+// InjectKnownEvents inserts k events drawn from the label vocabulary of
+// the traces themselves, at positions that create unseen transitions with
+// high probability. This models realistic new event sequences (known
+// devices, novel orderings).
+func InjectKnownEvents(traces []pfsm.Trace, k int, seed int64) []pfsm.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	var vocab []string
+	seen := map[string]bool{}
+	for _, tr := range traces {
+		for _, l := range tr {
+			if !seen[l] {
+				seen[l] = true
+				vocab = append(vocab, l)
+			}
+		}
+	}
+	if len(vocab) == 0 {
+		return append([]pfsm.Trace(nil), traces...)
+	}
+	out := make([]pfsm.Trace, len(traces))
+	for i, tr := range traces {
+		nt := append(pfsm.Trace(nil), tr...)
+		for j := 0; j < k; j++ {
+			pos := rng.Intn(len(nt) + 1)
+			label := vocab[rng.Intn(len(vocab))]
+			nt = append(nt[:pos], append(pfsm.Trace{label}, nt[pos:]...)...)
+		}
+		out[i] = nt
+	}
+	return out
+}
+
+// DuplicateTraces repeats a randomly chosen subset of traces factor extra
+// times, simulating user-event sequences occurring far more frequently
+// than modeled (Fig 4c, and the misactivation test case).
+func DuplicateTraces(traces []pfsm.Trace, factor int, seed int64) []pfsm.Trace {
+	if len(traces) == 0 || factor <= 0 {
+		return append([]pfsm.Trace(nil), traces...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]pfsm.Trace(nil), traces...)
+	// Duplicate ~20% of traces, factor times each.
+	n := len(traces) / 5
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		tr := traces[rng.Intn(len(traces))]
+		for j := 0; j < factor; j++ {
+			out = append(out, append(pfsm.Trace(nil), tr...))
+		}
+	}
+	return out
+}
+
+// DropDeviceEvents removes every event of the given device from the
+// traces (empty traces are discarded), simulating the device going
+// offline mid-automation (the §5.3 event-loss case, e.g. the Gosund Bulb
+// disappearing from the Ring Camera routine).
+func DropDeviceEvents(traces []pfsm.Trace, device string) []pfsm.Trace {
+	prefix := device + ":"
+	var out []pfsm.Trace
+	for _, tr := range traces {
+		var nt pfsm.Trace
+		for _, l := range tr {
+			if !strings.HasPrefix(l, prefix) {
+				nt = append(nt, l)
+			}
+		}
+		if len(nt) > 0 {
+			out = append(out, nt)
+		}
+	}
+	return out
+}
+
+// RepeatEventInTrace appends the same event n times to the first trace
+// containing it, simulating a device misactivating repeatedly in a row
+// (§5.3: "Echo Spot activating nine times in a row").
+func RepeatEventInTrace(traces []pfsm.Trace, label string, n int) []pfsm.Trace {
+	out := make([]pfsm.Trace, len(traces))
+	done := false
+	for i, tr := range traces {
+		nt := append(pfsm.Trace(nil), tr...)
+		if !done {
+			for _, l := range tr {
+				if l == label {
+					for j := 0; j < n; j++ {
+						nt = append(nt, label)
+					}
+					done = true
+					break
+				}
+			}
+		}
+		out[i] = nt
+	}
+	if !done && len(out) > 0 {
+		// Label absent: synthesize a dedicated trace.
+		tr := make(pfsm.Trace, n)
+		for j := range tr {
+			tr[j] = label
+		}
+		out = append(out, tr)
+	}
+	return out
+}

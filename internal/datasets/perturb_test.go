@@ -1,0 +1,144 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"behaviot/internal/pfsm"
+)
+
+func sampleTraces() []pfsm.Trace {
+	return []pfsm.Trace{
+		{"Ring Camera:motion", "Gosund Bulb:on"},
+		{"Echo Spot:voice", "iKettle:on", "Govee Bulb:on"},
+		{"Ring Camera:motion", "Gosund Bulb:on"},
+		{"Echo Spot:voice", "Meross Dooropener:open"},
+	}
+}
+
+func TestInjectNewEvents(t *testing.T) {
+	traces := sampleTraces()
+	for k := 1; k <= 5; k++ {
+		out := InjectNewEvents(traces, k, 42)
+		if len(out) != len(traces) {
+			t.Fatalf("k=%d: trace count changed", k)
+		}
+		for i, tr := range out {
+			if len(tr) != len(traces[i])+k {
+				t.Errorf("k=%d trace %d: len %d, want %d", k, i, len(tr), len(traces[i])+k)
+			}
+			synth := 0
+			for _, l := range tr {
+				if strings.HasPrefix(l, "synthetic:") {
+					synth++
+				}
+			}
+			if synth != k {
+				t.Errorf("k=%d trace %d: %d synthetic labels", k, i, synth)
+			}
+		}
+	}
+	// Originals untouched.
+	if len(traces[0]) != 2 {
+		t.Error("input traces mutated")
+	}
+}
+
+func TestInjectKnownEventsUsesVocabulary(t *testing.T) {
+	traces := sampleTraces()
+	out := InjectKnownEvents(traces, 2, 1)
+	vocab := map[string]bool{}
+	for _, tr := range traces {
+		for _, l := range tr {
+			vocab[l] = true
+		}
+	}
+	for i, tr := range out {
+		if len(tr) != len(traces[i])+2 {
+			t.Fatalf("trace %d: len %d", i, len(tr))
+		}
+		for _, l := range tr {
+			if !vocab[l] {
+				t.Errorf("unknown label %q injected", l)
+			}
+		}
+	}
+	if got := InjectKnownEvents(nil, 3, 1); len(got) != 0 {
+		t.Error("empty input should stay empty")
+	}
+}
+
+func TestDuplicateTraces(t *testing.T) {
+	traces := sampleTraces()
+	for _, factor := range []int{1, 3, 5} {
+		out := DuplicateTraces(traces, factor, 7)
+		if len(out) <= len(traces) {
+			t.Errorf("factor=%d: no duplication (%d traces)", factor, len(out))
+		}
+	}
+	if got := DuplicateTraces(traces, 0, 1); len(got) != len(traces) {
+		t.Error("factor=0 should be a no-op copy")
+	}
+	if got := DuplicateTraces(nil, 3, 1); len(got) != 0 {
+		t.Error("empty input should stay empty")
+	}
+}
+
+func TestDuplicationGrowsWithFactor(t *testing.T) {
+	traces := sampleTraces()
+	n1 := len(DuplicateTraces(traces, 1, 7))
+	n5 := len(DuplicateTraces(traces, 5, 7))
+	if n5 <= n1 {
+		t.Errorf("factor 5 (%d) should add more than factor 1 (%d)", n5, n1)
+	}
+}
+
+func TestDropDeviceEvents(t *testing.T) {
+	traces := sampleTraces()
+	out := DropDeviceEvents(traces, "Gosund Bulb")
+	for _, tr := range out {
+		for _, l := range tr {
+			if strings.HasPrefix(l, "Gosund Bulb:") {
+				t.Fatalf("Gosund Bulb event survived: %v", tr)
+			}
+		}
+	}
+	// Ring Camera:motion traces shrink to single events, not vanish.
+	found := false
+	for _, tr := range out {
+		if len(tr) == 1 && tr[0] == "Ring Camera:motion" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected orphaned Ring Camera:motion trace")
+	}
+	// Dropping everything discards empty traces.
+	single := []pfsm.Trace{{"X:a"}}
+	if got := DropDeviceEvents(single, "X"); len(got) != 0 {
+		t.Errorf("fully-dropped trace should vanish, got %v", got)
+	}
+}
+
+func TestRepeatEventInTrace(t *testing.T) {
+	traces := sampleTraces()
+	out := RepeatEventInTrace(traces, "Echo Spot:voice", 9)
+	count := 0
+	for _, tr := range out {
+		for _, l := range tr {
+			if l == "Echo Spot:voice" {
+				count++
+			}
+		}
+	}
+	// Originally 2 occurrences; 9 more appended to one trace.
+	if count != 11 {
+		t.Errorf("voice events = %d, want 11", count)
+	}
+	// Unknown label: a dedicated trace is synthesized.
+	out2 := RepeatEventInTrace(traces, "Nope:never", 4)
+	last := out2[len(out2)-1]
+	if len(last) != 4 || last[0] != "Nope:never" {
+		t.Errorf("synthetic trace = %v", last)
+	}
+}

@@ -1,0 +1,205 @@
+// Package dsp implements the signal-processing primitives behind BehavIoT's
+// periodic model inference (paper §4.1): a discrete Fourier transform to
+// extract candidate periods from the power spectrum, and autocorrelation to
+// validate them. The combination follows the structure of periodicity mining
+// from Vlachos et al. [71] and Li et al. [46] as cited by the paper.
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x. The input length need
+// not be a power of two: non-power-of-two inputs are transformed with the
+// Bluestein chirp-z algorithm, which internally uses a power-of-two FFT.
+// The input slice is not modified.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := append([]complex128(nil), x...)
+		radix2(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, including the
+// 1/n normalization.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if n&(n-1) == 0 {
+		out = append([]complex128(nil), x...)
+		radix2(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// radix2 performs an in-place iterative Cooley-Tukey FFT.
+// len(x) must be a power of two. If inverse is true the conjugate
+// transform is computed (without normalization).
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	dir := -1.0
+	if inverse {
+		dir = 1.0
+	}
+	// Chirp factors w[k] = exp(dir * i * pi * k^2 / n).
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n avoids precision loss for large k.
+		k2 := (int64(k) * int64(k)) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, dir*math.Pi*float64(k2)/float64(n)))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * w[k]
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * w[k]
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal, returning the full complex
+// spectrum of the same length.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// PowerSpectrum returns the periodogram |X_k|^2 / n for k = 0..n/2 of a
+// real signal (only the non-redundant half, including DC at index 0).
+func PowerSpectrum(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	spec := FFTReal(x)
+	half := n/2 + 1
+	out := make([]float64, half)
+	for k := 0; k < half; k++ {
+		m := cmplx.Abs(spec[k])
+		out[k] = m * m / float64(n)
+	}
+	return out
+}
+
+// Autocorrelation computes the (biased) autocorrelation function of x for
+// lags 0..maxLag, normalized so that lag 0 equals 1. The signal is mean-
+// centered first. Constant signals return all zeros (no structure).
+func Autocorrelation(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if n == 0 || maxLag < 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	centered := make([]float64, n)
+	var denom float64
+	for i, v := range x {
+		centered[i] = v - mean
+		denom += centered[i] * centered[i]
+	}
+	out := make([]float64, maxLag+1)
+	if denom == 0 {
+		return out
+	}
+	// Use the FFT to compute all lags in O(n log n): autocorrelation is the
+	// inverse transform of the power spectrum of the zero-padded signal.
+	m := 1
+	for m < 2*n {
+		m <<= 1
+	}
+	buf := make([]complex128, m)
+	for i, v := range centered {
+		buf[i] = complex(v, 0)
+	}
+	radix2(buf, false)
+	for i := range buf {
+		re, im := real(buf[i]), imag(buf[i])
+		buf[i] = complex(re*re+im*im, 0)
+	}
+	radix2(buf, true)
+	scale := 1 / float64(m)
+	for lag := 0; lag <= maxLag; lag++ {
+		out[lag] = real(buf[lag]) * scale / denom
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/datasets"
+	"behaviot/internal/pfsm"
+)
+
+// AblationResult reports the design-choice ablations called out in
+// DESIGN.md: the timer+DBSCAN hybrid, binary vs multiclass user models,
+// PFSM refinement, and trace-gap sensitivity.
+type AblationResult struct {
+	// Periodic classification accuracy on held-out idle, per strategy.
+	TimerOnly, ClusterOnly, Hybrid float64
+	// User event accuracy, per classifier structure.
+	Binary, Multiclass float64
+	// PFSM size and precision with and without invariant refinement.
+	RefinedStates, UnrefinedStates int
+	// RefinedRejects / UnrefinedRejects: of synthetic invalid traces, how
+	// many each model rejects (higher = more precise).
+	RefinedRejects, UnrefinedRejects, InvalidTraces int
+	// TraceGapCounts maps gap duration to trace count on the routine
+	// dataset (sensitivity of the 1-minute choice).
+	TraceGapCounts map[time.Duration]int
+}
+
+// Ablations runs all ablation studies on the lab's datasets.
+func Ablations(l *Lab) *AblationResult {
+	res := &AblationResult{TraceGapCounts: map[time.Duration]int{}}
+	pipe := l.Pipeline()
+
+	// --- Periodic classification strategies ---
+	strategies := []struct {
+		name           string
+		disableTimer   bool
+		disableCluster bool
+		out            *float64
+	}{
+		{"timer-only", false, true, &res.TimerOnly},
+		{"cluster-only", true, false, &res.ClusterOnly},
+		{"hybrid", false, false, &res.Hybrid},
+	}
+	models := pipe.Periodic.Models()
+	for _, s := range strategies {
+		pc := core.NewPeriodicClassifier(models, core.DefaultPeriodicConfig())
+		pc.DisableTimer = s.disableTimer
+		pc.DisableCluster = s.disableCluster
+		hit, tot := 0, 0
+		for _, f := range l.IdleTest() {
+			if _, ok := models[f.Key()]; !ok {
+				continue
+			}
+			tot++
+			if pc.Classify(f) {
+				hit++
+			}
+		}
+		if tot > 0 {
+			*s.out = float64(hit) / float64(tot)
+		}
+	}
+
+	// --- Binary vs multiclass user-action models ---
+	labeled := datasets.LabeledFlows(l.Samples())
+	heldOut := l.HeldOutSamples(5)
+	evalUA := func(multiclass bool) float64 {
+		cfg := core.DefaultUserActionConfig()
+		cfg.Multiclass = multiclass
+		ua, err := core.TrainUserActionModels(labeled, l.IdleTrain(), cfg)
+		if err != nil {
+			return 0
+		}
+		ok, tot := 0, 0
+		for _, s := range heldOut {
+			f := mainActivityFlow(s)
+			if f == nil {
+				continue
+			}
+			tot++
+			if label, _, got := ua.Classify(f); got && label == s.Label {
+				ok++
+			}
+		}
+		if tot == 0 {
+			return 0
+		}
+		return float64(ok) / float64(tot)
+	}
+	res.Binary = evalUA(false)
+	res.Multiclass = evalUA(true)
+
+	// --- PFSM refinement ---
+	traces := l.Traces()
+	refined := pfsm.Infer(traces, pfsm.Options{})
+	unrefined := pfsm.Infer(traces, pfsm.Options{DisableRefinement: true})
+	res.RefinedStates = refined.NumStates()
+	res.UnrefinedStates = unrefined.NumStates()
+	invalid := datasets.InjectKnownEvents(traces, 2, 5)
+	res.InvalidTraces = len(invalid)
+	for _, tr := range invalid {
+		if !refined.Accepts(tr) {
+			res.RefinedRejects++
+		}
+		if !unrefined.Accepts(tr) {
+			res.UnrefinedRejects++
+		}
+	}
+
+	// --- Trace gap sensitivity ---
+	events := pipe.Classify(l.routineFlowsForDevices())
+	for _, gap := range []time.Duration{15 * time.Second, time.Minute, 5 * time.Minute} {
+		p2 := *pipe
+		p2.TraceGap = gap
+		res.TraceGapCounts[gap] = len(p2.EventTraces(events))
+	}
+	return res
+}
+
+// String renders the ablation summary.
+func (r *AblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablations\n")
+	fmt.Fprintf(&b, "periodic classification:  timer-only %.1f%%  cluster-only %.1f%%  hybrid %.1f%%\n",
+		r.TimerOnly*100, r.ClusterOnly*100, r.Hybrid*100)
+	fmt.Fprintf(&b, "user-action models:       binary %.1f%%  multiclass %.1f%%\n",
+		r.Binary*100, r.Multiclass*100)
+	fmt.Fprintf(&b, "PFSM states:              refined %d  unrefined %d\n", r.RefinedStates, r.UnrefinedStates)
+	fmt.Fprintf(&b, "invalid-trace rejects:    refined %d/%d  unrefined %d/%d\n",
+		r.RefinedRejects, r.InvalidTraces, r.UnrefinedRejects, r.InvalidTraces)
+	for gap, n := range r.TraceGapCounts {
+		fmt.Fprintf(&b, "trace gap %-6v → %d traces\n", gap, n)
+	}
+	return b.String()
+}

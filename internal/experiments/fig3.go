@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"behaviot/internal/pfsm"
+)
+
+// Fig3Point is one x-position of Fig 3: model complexity at a device count.
+type Fig3Point struct {
+	Devices   int
+	PFSMNodes int
+	PFSMEdges int
+	SeqNodes  int
+	SeqEdges  int
+}
+
+// Fig3Result reproduces Fig 3 (PFSM vs event-sequence model complexity as
+// devices are added).
+type Fig3Result struct {
+	Points []Fig3Point
+}
+
+// Fig3 incrementally adds routine devices and compares the PFSM's
+// node/edge counts with the naive parallel-event-sequence model, whose
+// node count is the total number of events and whose edge count includes
+// one entry and exit per trace.
+func Fig3(l *Lab) *Fig3Result {
+	traces := l.Traces()
+	// Order devices by name for a deterministic growth curve.
+	deviceOf := func(label string) string {
+		for i := 0; i < len(label); i++ {
+			if label[i] == ':' {
+				return label[:i]
+			}
+		}
+		return label
+	}
+	devSet := map[string]bool{}
+	for _, tr := range traces {
+		for _, l := range tr {
+			devSet[deviceOf(l)] = true
+		}
+	}
+	devices := make([]string, 0, len(devSet))
+	for d := range devSet {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+
+	res := &Fig3Result{}
+	for n := 2; n <= len(devices); n += 2 {
+		allowed := map[string]bool{}
+		for _, d := range devices[:n] {
+			allowed[d] = true
+		}
+		var sub []pfsm.Trace
+		for _, tr := range traces {
+			var nt pfsm.Trace
+			for _, l := range tr {
+				if allowed[deviceOf(l)] {
+					nt = append(nt, l)
+				}
+			}
+			if len(nt) > 0 {
+				sub = append(sub, nt)
+			}
+		}
+		m := pfsm.Infer(sub, pfsm.Options{})
+		seqNodes, seqEdges := 0, 0
+		for _, tr := range sub {
+			seqNodes += len(tr)
+			if len(tr) > 0 {
+				seqEdges += len(tr) + 1 // entry + internal + exit
+			}
+		}
+		res.Points = append(res.Points, Fig3Point{
+			Devices:   n,
+			PFSMNodes: m.NumStates(),
+			PFSMEdges: m.TotalEdges(),
+			SeqNodes:  seqNodes,
+			SeqEdges:  seqEdges,
+		})
+	}
+	return res
+}
+
+// Final returns the last (full device set) point.
+func (r *Fig3Result) Final() Fig3Point {
+	if len(r.Points) == 0 {
+		return Fig3Point{}
+	}
+	return r.Points[len(r.Points)-1]
+}
+
+// String renders the growth series.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 3: Model complexity vs number of devices\n")
+	fmt.Fprintf(&b, "%8s %11s %11s %10s %10s\n", "Devices", "PFSM nodes", "PFSM edges", "Seq nodes", "Seq edges")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %11d %11d %10d %10d\n", p.Devices, p.PFSMNodes, p.PFSMEdges, p.SeqNodes, p.SeqEdges)
+	}
+	f := r.Final()
+	if f.PFSMNodes > 0 {
+		fmt.Fprintf(&b, "Compression at full scale: %.0fx nodes, %.1fx edges\n",
+			float64(f.SeqNodes)/float64(f.PFSMNodes), float64(f.SeqEdges)/float64(f.PFSMEdges))
+	}
+	b.WriteString("Paper @18 devices: PFSM 35 nodes / 211 edges vs sequences 710 / 910\n")
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"behaviot/internal/core"
+	"behaviot/internal/flows"
+)
+
+// FoldResult is one fold's periodic-deviation distributions.
+type FoldResult struct {
+	Fold  int
+	Train CDFSeries
+	Test  CDFSeries
+}
+
+// Fig4aKFoldResult is the paper's actual Fig 4a protocol: 5-fold
+// cross-validation over the idle dataset, with the combined train/test
+// CDFs from all folds (footnote 4).
+type Fig4aKFoldResult struct {
+	K     int
+	Folds []FoldResult
+	// Combined pools all folds' values, as the paper's figure plots.
+	CombinedTrain, CombinedTest CDFSeries
+}
+
+// Fig4aKFold partitions the idle flows into K contiguous time folds; for
+// each fold it trains periodic models on the remaining folds and scores
+// the periodic-event deviation metric on both partitions.
+func Fig4aKFold(l *Lab, k int) *Fig4aKFoldResult {
+	if k < 2 {
+		k = 5
+	}
+	all := append(append([]*flows.Flow(nil), l.IdleTrain()...), l.IdleTest()...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.Before(all[j].Start) })
+	foldOf := func(i int) int { return i * k / len(all) }
+
+	res := &Fig4aKFoldResult{
+		K:             k,
+		CombinedTrain: CDFSeries{Label: "train(5-fold)"},
+		CombinedTest:  CDFSeries{Label: "test(5-fold)"},
+	}
+	cfg := core.DefaultPeriodicConfig()
+	for fold := 0; fold < k; fold++ {
+		var train, test []*flows.Flow
+		for i, f := range all {
+			if foldOf(i) == fold {
+				test = append(test, f)
+			} else {
+				train = append(train, f)
+			}
+		}
+		models, _ := core.InferPeriodicModels(train, cfg)
+		pipe := &core.Pipeline{Periodic: core.NewPeriodicClassifier(models, cfg)}
+		fr := FoldResult{Fold: fold}
+		fr.Train.Label = fmt.Sprintf("fold%d-train", fold)
+		fr.Train.Values = periodicScores(pipe, train)
+		fr.Test.Label = fmt.Sprintf("fold%d-test", fold)
+		fr.Test.Values = periodicScores(pipe, test)
+		res.Folds = append(res.Folds, fr)
+		res.CombinedTrain.Values = append(res.CombinedTrain.Values, fr.Train.Values...)
+		res.CombinedTest.Values = append(res.CombinedTest.Values, fr.Test.Values...)
+	}
+	return res
+}
+
+// Overlap quantifies train/test CDF agreement as the absolute difference
+// of their medians (the paper reports the distributions overlap).
+func (r *Fig4aKFoldResult) Overlap() float64 {
+	trQ := r.CombinedTrain.Quantiles(0.5)
+	teQ := r.CombinedTest.Quantiles(0.5)
+	d := trQ[0] - teQ[0]
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// String renders the fold summary.
+func (r *Fig4aKFoldResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 4a (%d-fold): periodic-event deviation metric\n", r.K)
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s (n)\n", "series", "P50", "P90", "P99")
+	for _, s := range []CDFSeries{r.CombinedTrain, r.CombinedTest} {
+		q := s.Quantiles(0.5, 0.9, 0.99)
+		fmt.Fprintf(&b, "%-14s %8.3f %8.3f %8.3f (%d)\n", s.Label, q[0], q[1], q[2], len(s.Values))
+	}
+	fmt.Fprintf(&b, "median gap between train and test: %.4f (threshold ln5=1.609)\n", r.Overlap())
+	b.WriteString("Paper: the 5-fold train and test CDFs overlap\n")
+	return b.String()
+}

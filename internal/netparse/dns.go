@@ -1,0 +1,248 @@
+package netparse
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// DNS record types and classes used by the codec.
+const (
+	DNSTypeA    uint16 = 1
+	DNSTypeAAAA uint16 = 28
+	DNSTypePTR  uint16 = 12
+	DNSClassIN  uint16 = 1
+)
+
+// DNSQuestion is one question section entry.
+type DNSQuestion struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// DNSAnswer is one answer section resource record. For A/AAAA records IP
+// holds the address; for PTR records Target holds the pointed-to name.
+type DNSAnswer struct {
+	Name   string
+	Type   uint16
+	Class  uint16
+	TTL    uint32
+	IP     netip.Addr
+	Target string
+}
+
+// DNSMessage is a decoded (or to-be-encoded) DNS message. Only the
+// features the BehavIoT pipeline needs are modeled: questions and
+// A/AAAA/PTR answers.
+type DNSMessage struct {
+	ID        uint16
+	Response  bool
+	Questions []DNSQuestion
+	Answers   []DNSAnswer
+}
+
+// DNS codec errors.
+var (
+	ErrDNSTruncated = errors.New("netparse: truncated DNS message")
+	ErrDNSBadName   = errors.New("netparse: malformed DNS name")
+)
+
+// EncodeDNS serializes the message to wire format. Names are encoded
+// without compression.
+func EncodeDNS(m *DNSMessage) ([]byte, error) {
+	buf := make([]byte, 12, 64)
+	binary.BigEndian.PutUint16(buf[0:2], m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= 0x8000 // QR
+		flags |= 0x0400 // AA
+	} else {
+		flags |= 0x0100 // RD
+	}
+	binary.BigEndian.PutUint16(buf[2:4], flags)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(buf[6:8], uint16(len(m.Answers)))
+	for _, q := range m.Questions {
+		nb, err := encodeName(q.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, nb...)
+		buf = binary.BigEndian.AppendUint16(buf, q.Type)
+		buf = binary.BigEndian.AppendUint16(buf, q.Class)
+	}
+	for _, a := range m.Answers {
+		nb, err := encodeName(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, nb...)
+		buf = binary.BigEndian.AppendUint16(buf, a.Type)
+		buf = binary.BigEndian.AppendUint16(buf, a.Class)
+		buf = binary.BigEndian.AppendUint32(buf, a.TTL)
+		switch a.Type {
+		case DNSTypeA:
+			if !a.IP.Is4() {
+				return nil, fmt.Errorf("netparse: A record with non-IPv4 address %v", a.IP)
+			}
+			ip := a.IP.As4()
+			buf = binary.BigEndian.AppendUint16(buf, 4)
+			buf = append(buf, ip[:]...)
+		case DNSTypeAAAA:
+			if !a.IP.Is6() || a.IP.Is4() {
+				return nil, fmt.Errorf("netparse: AAAA record with non-IPv6 address %v", a.IP)
+			}
+			ip := a.IP.As16()
+			buf = binary.BigEndian.AppendUint16(buf, 16)
+			buf = append(buf, ip[:]...)
+		case DNSTypePTR:
+			tb, err := encodeName(a.Target)
+			if err != nil {
+				return nil, err
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(tb)))
+			buf = append(buf, tb...)
+		default:
+			return nil, fmt.Errorf("netparse: unsupported DNS answer type %d", a.Type)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeDNS parses a DNS message, supporting name compression pointers.
+func DecodeDNS(data []byte) (*DNSMessage, error) {
+	if len(data) < 12 {
+		return nil, ErrDNSTruncated
+	}
+	m := &DNSMessage{
+		ID:       binary.BigEndian.Uint16(data[0:2]),
+		Response: data[2]&0x80 != 0,
+	}
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+4 > len(data) {
+			return nil, ErrDNSTruncated
+		}
+		m.Questions = append(m.Questions, DNSQuestion{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+		})
+		off += 4
+	}
+	for i := 0; i < an; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		if off+10 > len(data) {
+			return nil, ErrDNSTruncated
+		}
+		a := DNSAnswer{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+			TTL:   binary.BigEndian.Uint32(data[off+4 : off+8]),
+		}
+		rdLen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+		off += 10
+		if off+rdLen > len(data) {
+			return nil, ErrDNSTruncated
+		}
+		switch a.Type {
+		case DNSTypeA:
+			if rdLen != 4 {
+				return nil, fmt.Errorf("netparse: A record rdlength %d", rdLen)
+			}
+			a.IP = netip.AddrFrom4([4]byte(data[off : off+4]))
+		case DNSTypeAAAA:
+			if rdLen != 16 {
+				return nil, fmt.Errorf("netparse: AAAA record rdlength %d", rdLen)
+			}
+			a.IP = netip.AddrFrom16([16]byte(data[off : off+16]))
+		case DNSTypePTR:
+			target, _, err := decodeName(data, off)
+			if err != nil {
+				return nil, err
+			}
+			a.Target = target
+		}
+		off += rdLen
+		m.Answers = append(m.Answers, a)
+	}
+	return m, nil
+}
+
+// encodeName converts "a.b.c" into DNS label wire format.
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	var out []byte
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrDNSBadName, label)
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+// decodeName parses a possibly-compressed DNS name starting at off,
+// returning the name and the offset just past it.
+func decodeName(data []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	end := off
+	hops := 0
+	for {
+		if off >= len(data) {
+			return "", 0, ErrDNSTruncated
+		}
+		l := int(data[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case l&0xC0 == 0xC0: // compression pointer
+			if off+1 >= len(data) {
+				return "", 0, ErrDNSTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:off+2]) & 0x3FFF)
+			if !jumped {
+				end = off + 2
+				jumped = true
+			}
+			if hops++; hops > 32 || ptr >= len(data) {
+				return "", 0, ErrDNSBadName
+			}
+			off = ptr
+		case l > 63:
+			return "", 0, ErrDNSBadName
+		default:
+			if off+1+l > len(data) {
+				return "", 0, ErrDNSTruncated
+			}
+			labels = append(labels, string(data[off+1:off+1+l]))
+			off += 1 + l
+			if !jumped {
+				end = off
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package netparse
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	q := &DNSMessage{
+		ID: 0x1234,
+		Questions: []DNSQuestion{
+			{Name: "devs.tplinkcloud.com", Type: DNSTypeA, Class: DNSClassIN},
+		},
+	}
+	wire, err := EncodeDNS(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDNS(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0x1234 || got.Response {
+		t.Errorf("header: id=%#x resp=%v", got.ID, got.Response)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "devs.tplinkcloud.com" {
+		t.Errorf("questions: %+v", got.Questions)
+	}
+}
+
+func TestDNSResponseRoundTrip(t *testing.T) {
+	ip := netip.MustParseAddr("52.94.233.129")
+	r := &DNSMessage{
+		ID:       7,
+		Response: true,
+		Questions: []DNSQuestion{
+			{Name: "device-metrics-us.amazon.com", Type: DNSTypeA, Class: DNSClassIN},
+		},
+		Answers: []DNSAnswer{
+			{Name: "device-metrics-us.amazon.com", Type: DNSTypeA, Class: DNSClassIN, TTL: 300, IP: ip},
+		},
+	}
+	wire, err := EncodeDNS(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDNS(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response {
+		t.Error("Response flag lost")
+	}
+	if len(got.Answers) != 1 || got.Answers[0].IP != ip {
+		t.Errorf("answers: %+v", got.Answers)
+	}
+	if got.Answers[0].TTL != 300 {
+		t.Errorf("TTL = %d", got.Answers[0].TTL)
+	}
+}
+
+func TestDNSAAAARoundTrip(t *testing.T) {
+	ip := netip.MustParseAddr("2607:f8b0:4004::8a")
+	r := &DNSMessage{
+		ID:       9,
+		Response: true,
+		Answers: []DNSAnswer{
+			{Name: "time.google.com", Type: DNSTypeAAAA, Class: DNSClassIN, TTL: 60, IP: ip},
+		},
+	}
+	wire, err := EncodeDNS(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDNS(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].IP != ip {
+		t.Errorf("AAAA IP = %v", got.Answers[0].IP)
+	}
+}
+
+func TestDNSPTRRoundTrip(t *testing.T) {
+	r := &DNSMessage{
+		ID:       3,
+		Response: true,
+		Questions: []DNSQuestion{
+			{Name: "129.233.94.52.in-addr.arpa", Type: DNSTypePTR, Class: DNSClassIN},
+		},
+		Answers: []DNSAnswer{
+			{Name: "129.233.94.52.in-addr.arpa", Type: DNSTypePTR, Class: DNSClassIN,
+				TTL: 3600, Target: "ec2-52-94-233-129.compute-1.amazonaws.com"},
+		},
+	}
+	wire, err := EncodeDNS(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDNS(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Target != "ec2-52-94-233-129.compute-1.amazonaws.com" {
+		t.Errorf("PTR target = %q", got.Answers[0].Target)
+	}
+}
+
+func TestDNSNameCompression(t *testing.T) {
+	// Hand-build a response that uses a compression pointer for the answer
+	// name (0xC00C points at the question name at offset 12).
+	q, _ := encodeName("cam.example.com")
+	msg := make([]byte, 0, 64)
+	msg = append(msg, 0x00, 0x05, 0x84, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00)
+	msg = append(msg, q...)
+	msg = append(msg, 0x00, 0x01, 0x00, 0x01) // QTYPE/QCLASS
+	msg = append(msg, 0xC0, 0x0C)             // pointer to offset 12
+	msg = append(msg, 0x00, 0x01, 0x00, 0x01) // TYPE A, CLASS IN
+	msg = append(msg, 0, 0, 1, 44)            // TTL 300
+	msg = append(msg, 0, 4, 10, 0, 0, 1)      // RDLENGTH 4, 10.0.0.1
+	got, err := DecodeDNS(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Name != "cam.example.com" {
+		t.Errorf("compressed name = %q", got.Answers[0].Name)
+	}
+	if got.Answers[0].IP != netip.MustParseAddr("10.0.0.1") {
+		t.Errorf("IP = %v", got.Answers[0].IP)
+	}
+}
+
+func TestDNSCompressionLoopRejected(t *testing.T) {
+	// Pointer at offset 12 pointing to itself: must not hang.
+	msg := []byte{0, 1, 0x84, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0}
+	if _, err := DecodeDNS(msg); err == nil {
+		t.Error("self-referential pointer should error")
+	}
+}
+
+func TestDNSTruncatedInputs(t *testing.T) {
+	r := &DNSMessage{
+		ID:       1,
+		Response: true,
+		Questions: []DNSQuestion{
+			{Name: "a.example.com", Type: DNSTypeA, Class: DNSClassIN},
+		},
+		Answers: []DNSAnswer{
+			{Name: "a.example.com", Type: DNSTypeA, Class: DNSClassIN, TTL: 60,
+				IP: netip.MustParseAddr("1.2.3.4")},
+		},
+	}
+	wire, _ := EncodeDNS(r)
+	for cut := 0; cut < len(wire); cut += 3 {
+		if _, err := DecodeDNS(wire[:cut]); err == nil {
+			t.Errorf("cut=%d: expected error", cut)
+		}
+	}
+}
+
+func TestDNSEncodeErrors(t *testing.T) {
+	// Label too long.
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = 'a'
+	}
+	bad := &DNSMessage{Questions: []DNSQuestion{{Name: string(long) + ".com", Type: DNSTypeA, Class: DNSClassIN}}}
+	if _, err := EncodeDNS(bad); err == nil {
+		t.Error("64-char label should error")
+	}
+	// A record with IPv6 address.
+	badA := &DNSMessage{Answers: []DNSAnswer{{Name: "x.com", Type: DNSTypeA, IP: netip.MustParseAddr("::1")}}}
+	if _, err := EncodeDNS(badA); err == nil {
+		t.Error("A record with v6 address should error")
+	}
+	// Unsupported record type.
+	badT := &DNSMessage{Answers: []DNSAnswer{{Name: "x.com", Type: 99}}}
+	if _, err := EncodeDNS(badT); err == nil {
+		t.Error("unsupported type should error")
+	}
+}
+
+func TestEncodeNameRoot(t *testing.T) {
+	b, err := encodeName("")
+	if err != nil || len(b) != 1 || b[0] != 0 {
+		t.Errorf("root name = %v, err %v", b, err)
+	}
+	// Trailing dot is tolerated.
+	b2, err := encodeName("example.com.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, _, err := decodeName(b2, 0)
+	if err != nil || name != "example.com" {
+		t.Errorf("round trip = %q, err %v", name, err)
+	}
+}

@@ -1,0 +1,70 @@
+package netparse
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// NTP packet constants (RFC 5905).
+const (
+	// NTPPort is the well-known NTP UDP port.
+	NTPPort = 123
+	// ntpPacketLen is the size of a basic NTP packet.
+	ntpPacketLen = 48
+	// ntpEpochOffset is the number of seconds between the NTP epoch
+	// (1900-01-01) and the Unix epoch (1970-01-01).
+	ntpEpochOffset = 2208988800
+)
+
+// NTP modes.
+const (
+	NTPModeClient = 3
+	NTPModeServer = 4
+)
+
+// NTPPacket is a minimal NTP v4 packet: enough to synthesize the periodic
+// NTP sync traffic that IoT devices emit (paper §6.1 observes 17 distinct
+// NTP servers across the testbed) and to recognize it when decoding.
+type NTPPacket struct {
+	Mode     byte
+	Stratum  byte
+	Transmit time.Time
+}
+
+// ErrNotNTP is returned when a payload cannot be an NTP packet.
+var ErrNotNTP = errors.New("netparse: not an NTP packet")
+
+// EncodeNTP serializes the packet.
+func EncodeNTP(p *NTPPacket) []byte {
+	buf := make([]byte, ntpPacketLen)
+	buf[0] = 4<<3 | (p.Mode & 0x7) // LI=0, VN=4, Mode
+	buf[1] = p.Stratum
+	secs := uint32(p.Transmit.Unix() + ntpEpochOffset)
+	frac := uint32(float64(p.Transmit.Nanosecond()) / 1e9 * (1 << 32))
+	binary.BigEndian.PutUint32(buf[40:44], secs)
+	binary.BigEndian.PutUint32(buf[44:48], frac)
+	return buf
+}
+
+// DecodeNTP parses an NTP packet payload.
+func DecodeNTP(data []byte) (*NTPPacket, error) {
+	if len(data) < ntpPacketLen {
+		return nil, ErrNotNTP
+	}
+	version := data[0] >> 3 & 0x7
+	if version < 1 || version > 4 {
+		return nil, ErrNotNTP
+	}
+	p := &NTPPacket{
+		Mode:    data[0] & 0x7,
+		Stratum: data[1],
+	}
+	secs := binary.BigEndian.Uint32(data[40:44])
+	frac := binary.BigEndian.Uint32(data[44:48])
+	if secs != 0 {
+		nanos := int64(float64(frac) / (1 << 32) * 1e9)
+		p.Transmit = time.Unix(int64(secs)-ntpEpochOffset, nanos).UTC()
+	}
+	return p, nil
+}

@@ -1,0 +1,145 @@
+package netparse
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// TLS constants needed to synthesize and inspect ClientHello records.
+const (
+	tlsRecordHandshake    = 22
+	tlsHandshakeHello     = 1
+	tlsVersion12          = 0x0303
+	tlsExtensionSNI       = 0
+	tlsSNITypeHostname    = 0
+	tlsClientRandomLength = 32
+)
+
+// ErrNotClientHello is returned when the payload is not a TLS ClientHello.
+var ErrNotClientHello = errors.New("netparse: not a TLS ClientHello")
+
+// EncodeClientHello builds a minimal but well-formed TLS 1.2 ClientHello
+// record carrying the given server name in the SNI extension. random must
+// be 32 bytes (it is copied verbatim into the hello).
+func EncodeClientHello(serverName string, random [32]byte) []byte {
+	// SNI extension body: server_name_list.
+	host := []byte(serverName)
+	sniEntry := make([]byte, 3+len(host))
+	sniEntry[0] = tlsSNITypeHostname
+	binary.BigEndian.PutUint16(sniEntry[1:3], uint16(len(host)))
+	copy(sniEntry[3:], host)
+	sniList := make([]byte, 2+len(sniEntry))
+	binary.BigEndian.PutUint16(sniList[0:2], uint16(len(sniEntry)))
+	copy(sniList[2:], sniEntry)
+
+	ext := make([]byte, 4+len(sniList))
+	binary.BigEndian.PutUint16(ext[0:2], tlsExtensionSNI)
+	binary.BigEndian.PutUint16(ext[2:4], uint16(len(sniList)))
+	copy(ext[4:], sniList)
+
+	// ClientHello body.
+	body := make([]byte, 0, 64+len(ext))
+	body = binary.BigEndian.AppendUint16(body, tlsVersion12)
+	body = append(body, random[:]...)
+	body = append(body, 0) // session id length
+	// Two cipher suites.
+	body = binary.BigEndian.AppendUint16(body, 4)
+	body = binary.BigEndian.AppendUint16(body, 0xC02F) // ECDHE-RSA-AES128-GCM-SHA256
+	body = binary.BigEndian.AppendUint16(body, 0x009C) // RSA-AES128-GCM-SHA256
+	body = append(body, 1, 0)                          // compression: null only
+	body = binary.BigEndian.AppendUint16(body, uint16(len(ext)))
+	body = append(body, ext...)
+
+	// Handshake header.
+	hs := make([]byte, 4+len(body))
+	hs[0] = tlsHandshakeHello
+	hs[1] = byte(len(body) >> 16)
+	hs[2] = byte(len(body) >> 8)
+	hs[3] = byte(len(body))
+	copy(hs[4:], body)
+
+	// Record header.
+	rec := make([]byte, 5+len(hs))
+	rec[0] = tlsRecordHandshake
+	binary.BigEndian.PutUint16(rec[1:3], tlsVersion12)
+	binary.BigEndian.PutUint16(rec[3:5], uint16(len(hs)))
+	copy(rec[5:], hs)
+	return rec
+}
+
+// ExtractSNI parses a TLS record and returns the server name from the
+// ClientHello's SNI extension. It tolerates trailing data after the record
+// (multiple records in one segment) but requires the first record to be a
+// complete ClientHello.
+func ExtractSNI(payload []byte) (string, error) {
+	if len(payload) < 5 || payload[0] != tlsRecordHandshake {
+		return "", ErrNotClientHello
+	}
+	recLen := int(binary.BigEndian.Uint16(payload[3:5]))
+	if len(payload) < 5+recLen {
+		return "", ErrNotClientHello
+	}
+	hs := payload[5 : 5+recLen]
+	if len(hs) < 4 || hs[0] != tlsHandshakeHello {
+		return "", ErrNotClientHello
+	}
+	bodyLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	if len(hs) < 4+bodyLen {
+		return "", ErrNotClientHello
+	}
+	body := hs[4 : 4+bodyLen]
+	// client_version(2) + random(32)
+	off := 2 + tlsClientRandomLength
+	if len(body) < off+1 {
+		return "", ErrNotClientHello
+	}
+	sessLen := int(body[off])
+	off += 1 + sessLen
+	if len(body) < off+2 {
+		return "", ErrNotClientHello
+	}
+	csLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2 + csLen
+	if len(body) < off+1 {
+		return "", ErrNotClientHello
+	}
+	compLen := int(body[off])
+	off += 1 + compLen
+	if len(body) < off+2 {
+		return "", ErrNotClientHello // no extensions block
+	}
+	extLen := int(binary.BigEndian.Uint16(body[off : off+2]))
+	off += 2
+	if len(body) < off+extLen {
+		return "", ErrNotClientHello
+	}
+	exts := body[off : off+extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts[0:2])
+		l := int(binary.BigEndian.Uint16(exts[2:4]))
+		if len(exts) < 4+l {
+			return "", ErrNotClientHello
+		}
+		if typ == tlsExtensionSNI {
+			sni := exts[4 : 4+l]
+			if len(sni) < 2 {
+				return "", ErrNotClientHello
+			}
+			listLen := int(binary.BigEndian.Uint16(sni[0:2]))
+			list := sni[2:]
+			if len(list) < listLen || listLen < 3 {
+				return "", ErrNotClientHello
+			}
+			if list[0] != tlsSNITypeHostname {
+				return "", ErrNotClientHello
+			}
+			nameLen := int(binary.BigEndian.Uint16(list[1:3]))
+			if len(list) < 3+nameLen {
+				return "", ErrNotClientHello
+			}
+			return string(list[3 : 3+nameLen]), nil
+		}
+		exts = exts[4+l:]
+	}
+	return "", ErrNotClientHello
+}

@@ -1,0 +1,119 @@
+package netparse
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClientHelloSNIRoundTrip(t *testing.T) {
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(i)
+	}
+	for _, name := range []string{
+		"devs.tplinkcloud.com",
+		"a2z.com",
+		"very-long-subdomain.iot.us-east-1.amazonaws.com",
+	} {
+		rec := EncodeClientHello(name, random)
+		got, err := ExtractSNI(rec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != name {
+			t.Errorf("SNI = %q, want %q", got, name)
+		}
+	}
+}
+
+func TestExtractSNIRejectsNonTLS(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("GET / HTTP/1.1\r\n"),
+		{22, 3, 3},          // truncated record header
+		{23, 3, 3, 0, 5, 1}, // application data record
+	}
+	for i, c := range cases {
+		if _, err := ExtractSNI(c); !errors.Is(err, ErrNotClientHello) {
+			t.Errorf("case %d: err = %v, want ErrNotClientHello", i, err)
+		}
+	}
+}
+
+func TestExtractSNITruncatedHello(t *testing.T) {
+	var random [32]byte
+	rec := EncodeClientHello("example.com", random)
+	for cut := 1; cut < len(rec); cut += 7 {
+		if _, err := ExtractSNI(rec[:cut]); err == nil {
+			// A prefix that still contains the full record may legitimately
+			// parse; only complain when the record was actually cut.
+			if cut < len(rec) {
+				t.Errorf("cut=%d parsed successfully", cut)
+			}
+		}
+	}
+}
+
+func TestExtractSNITrailingData(t *testing.T) {
+	var random [32]byte
+	rec := EncodeClientHello("hub.example.net", random)
+	rec = append(rec, []byte{23, 3, 3, 0, 2, 0xAA, 0xBB}...) // extra record
+	got, err := ExtractSNI(rec)
+	if err != nil || got != "hub.example.net" {
+		t.Errorf("with trailing data: %q, %v", got, err)
+	}
+}
+
+func TestNTPRoundTrip(t *testing.T) {
+	tx := time.Date(2021, 9, 15, 12, 30, 45, 500000000, time.UTC)
+	p := &NTPPacket{Mode: NTPModeClient, Stratum: 0, Transmit: tx}
+	wire := EncodeNTP(p)
+	if len(wire) != 48 {
+		t.Fatalf("NTP length = %d, want 48", len(wire))
+	}
+	got, err := DecodeNTP(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != NTPModeClient {
+		t.Errorf("mode = %d", got.Mode)
+	}
+	if d := got.Transmit.Sub(tx); d > time.Millisecond || d < -time.Millisecond {
+		t.Errorf("transmit time drift = %v", d)
+	}
+}
+
+func TestNTPServerMode(t *testing.T) {
+	p := &NTPPacket{Mode: NTPModeServer, Stratum: 2, Transmit: time.Unix(1700000000, 0)}
+	got, err := DecodeNTP(EncodeNTP(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != NTPModeServer || got.Stratum != 2 {
+		t.Errorf("mode/stratum = %d/%d", got.Mode, got.Stratum)
+	}
+}
+
+func TestNTPRejectsShortOrGarbage(t *testing.T) {
+	if _, err := DecodeNTP(make([]byte, 47)); !errors.Is(err, ErrNotNTP) {
+		t.Error("short packet should be rejected")
+	}
+	garbage := make([]byte, 48)
+	garbage[0] = 0xFF // version 7 (invalid)
+	if _, err := DecodeNTP(garbage); !errors.Is(err, ErrNotNTP) {
+		t.Error("invalid version should be rejected")
+	}
+}
+
+func BenchmarkExtractSNI(b *testing.B) {
+	var random [32]byte
+	rec := EncodeClientHello("device-metrics-us.amazon.com", random)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractSNI(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package pcapio reads and writes libpcap capture files (the classic
+// .pcap format, not pcapng) using only the standard library. BehavIoT's
+// dataset generators write synthesized gateway traffic to pcap files and
+// the analysis pipeline reads them back, mirroring how the paper's
+// software consumes testbed captures.
+//
+// Both the microsecond (magic 0xa1b2c3d4) and nanosecond (0xa1b23c4d)
+// variants are supported, in either byte order.
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers for the pcap file header.
+const (
+	magicMicro = 0xa1b2c3d4
+	magicNano  = 0xa1b23c4d
+)
+
+// LinkType identifies the link layer of the capture.
+type LinkType uint32
+
+// LinkTypeEthernet is the only link type the BehavIoT pipeline produces.
+const LinkTypeEthernet LinkType = 1
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic     = errors.New("pcapio: not a pcap file")
+	ErrTruncated    = errors.New("pcapio: truncated capture")
+	ErrPacketTooBig = errors.New("pcapio: packet exceeds snap length")
+)
+
+// MaxSnapLen is the snapshot length written to file headers and the upper
+// bound accepted when reading.
+const MaxSnapLen = 262144
+
+// Writer writes packets to a pcap stream. Create with NewWriter.
+type Writer struct {
+	w     *bufio.Writer
+	nanos bool
+}
+
+// NewWriter writes a pcap file header (microsecond resolution, Ethernet
+// link type) to w and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	return newWriter(w, false)
+}
+
+// NewNanoWriter is NewWriter with nanosecond timestamp resolution.
+func NewNanoWriter(w io.Writer) (*Writer, error) {
+	return newWriter(w, true)
+}
+
+func newWriter(w io.Writer, nanos bool) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [24]byte
+	magic := uint32(magicMicro)
+	if nanos {
+		magic = magicNano
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // version minor
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], MaxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(LinkTypeEthernet))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, nanos: nanos}, nil
+}
+
+// WritePacket appends one packet record with the given capture timestamp.
+func (w *Writer) WritePacket(ts time.Time, data []byte) error {
+	if len(data) > MaxSnapLen {
+		return fmt.Errorf("%w: %d bytes", ErrPacketTooBig, len(data))
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ts.Unix()))
+	sub := uint32(ts.Nanosecond())
+	if !w.nanos {
+		sub /= 1000
+	}
+	binary.LittleEndian.PutUint32(hdr[4:8], sub)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer. Callers must
+// Flush before closing the underlying file.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads packets from a pcap stream. Create with NewReader.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	linkType LinkType
+	snapLen  uint32
+}
+
+// NewReader parses the pcap file header from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrBadMagic
+		}
+		return nil, err
+	}
+	rd := &Reader{r: br}
+	magicLE := binary.LittleEndian.Uint32(hdr[0:4])
+	magicBE := binary.BigEndian.Uint32(hdr[0:4])
+	switch {
+	case magicLE == magicMicro:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNano:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case magicBE == magicMicro:
+		rd.order = binary.BigEndian
+	case magicBE == magicNano:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	rd.snapLen = rd.order.Uint32(hdr[16:20])
+	rd.linkType = LinkType(rd.order.Uint32(hdr[20:24]))
+	return rd, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() LinkType { return r.linkType }
+
+// SnapLen returns the capture's snapshot length.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// ReadPacket returns the next packet record. It returns io.EOF cleanly at
+// the end of the stream and ErrTruncated for a partial trailing record.
+func (r *Reader) ReadPacket() (ts time.Time, data []byte, err error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return time.Time{}, nil, io.EOF
+		}
+		return time.Time{}, nil, ErrTruncated
+	}
+	sec := r.order.Uint32(hdr[0:4])
+	sub := r.order.Uint32(hdr[4:8])
+	capLen := r.order.Uint32(hdr[8:12])
+	if capLen > MaxSnapLen {
+		return time.Time{}, nil, fmt.Errorf("%w: capture length %d", ErrPacketTooBig, capLen)
+	}
+	data = make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return time.Time{}, nil, ErrTruncated
+	}
+	nanos := int64(sub)
+	if !r.nanos {
+		nanos *= 1000
+	}
+	return time.Unix(int64(sec), nanos).UTC(), data, nil
+}

@@ -1,0 +1,141 @@
+package pfsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTraces builds a random trace set over a small alphabet.
+func randomTraces(rng *rand.Rand, maxTraces, maxLen, alphabet int) []Trace {
+	labels := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	if alphabet > len(labels) {
+		alphabet = len(labels)
+	}
+	if alphabet < 1 {
+		alphabet = 1
+	}
+	n := 1 + rng.Intn(maxTraces)
+	out := make([]Trace, n)
+	for i := range out {
+		l := 1 + rng.Intn(maxLen)
+		tr := make(Trace, l)
+		for j := range tr {
+			tr[j] = labels[rng.Intn(alphabet)]
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+// TestPropertyAcceptsAllTrainingTraces is the §5.2 property (i): every
+// trace used to build the model maps to a valid path.
+func TestPropertyAcceptsAllTrainingTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		traces := randomTraces(rng, 12, 8, 1+rng.Intn(7))
+		m := Infer(traces, Options{})
+		for _, tr := range traces {
+			if !m.Accepts(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTraceProbPositiveAndBounded: smoothed probabilities stay in
+// (0, 1] for any trace, seen or unseen.
+func TestPropertyTraceProbPositiveAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		traces := randomTraces(rng, 10, 6, 4)
+		m := Infer(traces, Options{})
+		probes := append(traces, randomTraces(rng, 5, 6, 8)...)
+		for _, tr := range probes {
+			p := m.TraceProb(tr)
+			if p <= 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTrainingTracesLikelierThanNoise: on average, training traces
+// score higher probability than random traces over unseen labels.
+func TestPropertyTrainingTracesLikelierThanNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		traces := randomTraces(rng, 10, 5, 3)
+		m := Infer(traces, Options{})
+		var seenSum, noiseSum float64
+		for _, tr := range traces {
+			seenSum += m.TraceProb(tr)
+		}
+		noise := Trace{"zz1", "zz2", "zz3"}
+		noiseSum = m.TraceProb(noise) * float64(len(traces))
+		if noiseSum >= seenSum {
+			t.Fatalf("trial %d: noise %v >= seen %v", trial, noiseSum, seenSum)
+		}
+	}
+}
+
+// TestPropertyRefinementPreservesAcceptance: refinement may only remove
+// generalization, never break training-trace acceptance, and never
+// accepts a trace the unrefined model rejects.
+func TestPropertyRefinementPreservesAcceptance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		traces := randomTraces(rng, 10, 6, 4)
+		refined := Infer(traces, Options{})
+		unrefined := Infer(traces, Options{DisableRefinement: true})
+		for _, tr := range traces {
+			if !refined.Accepts(tr) {
+				return false
+			}
+		}
+		// Probe random traces: refined ⊆ unrefined language.
+		for _, tr := range randomTraces(rng, 8, 6, 4) {
+			if refined.Accepts(tr) && !unrefined.Accepts(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyProbabilitiesNormalized: outgoing ML probabilities of every
+// non-terminal state sum to 1.
+func TestPropertyProbabilitiesNormalized(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		traces := randomTraces(rng, 10, 6, 5)
+		m := Infer(traces, Options{})
+		sums := map[int]float64{}
+		for _, tr := range m.Transitions() {
+			sums[tr.From] += tr.Prob
+		}
+		for s, sum := range sums {
+			if s == terminalID {
+				continue
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,309 @@
+package pfsm
+
+import "sort"
+
+// refine performs counterexample-guided partition refinement: while the
+// partition graph admits a path violating a mined invariant, it finds the
+// partition where the abstract path diverges from all concrete traces and
+// splits it. Invariants whose counterexamples are weakly realizable (every
+// step matches some concrete transition, though not necessarily from a
+// single trace) cannot be eliminated by splitting and are skipped — the
+// same imprecision Synoptic documents.
+func refine(traces []Trace, partition [][]int, partLabel map[int]string, nextPart *int, invariants []Invariant, maxSplits int) {
+	skipped := map[string]bool{}
+	for splits := 0; splits < maxSplits; {
+		g := buildGraph(traces, partition)
+		progressed := false
+		for _, inv := range invariants {
+			if skipped[inv.String()] {
+				continue
+			}
+			path := findViolation(g, inv, partLabel)
+			if path == nil {
+				continue
+			}
+			if splitAtDivergence(partition, partLabel, nextPart, g, path, inv.Kind) {
+				splits++
+				progressed = true
+				break // graph changed; rebuild
+			}
+			skipped[inv.String()] = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// graph is the partition-level transition relation during refinement.
+type graph struct {
+	// succ[p] lists successor partitions of p (sorted, deduped).
+	succ map[int][]int
+	// members[p] lists the concrete events assigned to p.
+	members map[int][]event
+	// terminalReach[p] is true when some event in p ends its trace.
+	terminalMembers map[int]bool
+	// starts lists partitions containing a trace's first event.
+	starts []int
+}
+
+func buildGraph(traces []Trace, partition [][]int) *graph {
+	g := &graph{
+		succ:            map[int][]int{},
+		members:         map[int][]event{},
+		terminalMembers: map[int]bool{},
+	}
+	succSet := map[int]map[int]bool{}
+	startSet := map[int]bool{}
+	for t := range traces {
+		ps := partition[t]
+		for i, p := range ps {
+			g.members[p] = append(g.members[p], event{trace: t, index: i})
+			if i == 0 {
+				startSet[p] = true
+			}
+			if i == len(ps)-1 {
+				g.terminalMembers[p] = true
+			} else {
+				if succSet[p] == nil {
+					succSet[p] = map[int]bool{}
+				}
+				succSet[p][ps[i+1]] = true
+			}
+		}
+	}
+	for p, set := range succSet {
+		for q := range set {
+			g.succ[p] = append(g.succ[p], q)
+		}
+		sort.Ints(g.succ[p])
+	}
+	for p := range startSet {
+		g.starts = append(g.starts, p)
+	}
+	sort.Ints(g.starts)
+	return g
+}
+
+// findViolation model-checks one invariant and returns an abstract
+// counterexample path (a sequence of partition ids) or nil. The path's
+// semantics depend on the invariant kind:
+//
+//   - NFby(a,b):  path from an a-partition to a b-partition.
+//   - AFby(a,b):  path from an a-partition to a trace end avoiding b.
+//   - AP(a,b):    path from a trace start to a b-partition avoiding a.
+func findViolation(g *graph, inv Invariant, partLabel map[int]string) []int {
+	partsOf := func(label string) []int {
+		var out []int
+		for p := range g.members {
+			if partLabel[p] == label {
+				out = append(out, p)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	switch inv.Kind {
+	case NeverFollowedBy:
+		targets := map[int]bool{}
+		for _, p := range partsOf(inv.B) {
+			targets[p] = true
+		}
+		for _, src := range partsOf(inv.A) {
+			if path := bfs(g, []int{src}, targets, nil, false); path != nil {
+				return path
+			}
+		}
+	case AlwaysFollowedBy:
+		avoid := map[int]bool{}
+		for _, p := range partsOf(inv.B) {
+			avoid[p] = true
+		}
+		for _, src := range partsOf(inv.A) {
+			if path := bfs(g, []int{src}, nil, avoid, true); path != nil {
+				return path
+			}
+		}
+	case AlwaysPrecededBy:
+		avoid := map[int]bool{}
+		for _, p := range partsOf(inv.A) {
+			avoid[p] = true
+		}
+		targets := map[int]bool{}
+		for _, p := range partsOf(inv.B) {
+			targets[p] = true
+		}
+		var starts []int
+		for _, s := range g.starts {
+			if !avoid[s] {
+				starts = append(starts, s)
+			}
+		}
+		if path := bfs(g, starts, targets, avoid, false); path != nil {
+			return path
+		}
+	}
+	return nil
+}
+
+// bfs searches the partition graph from the given sources. When
+// toTerminal is false it looks for the first node in targets (requiring at
+// least one edge to be traversed when a source is itself a target); when
+// toTerminal is true it looks for any node with a trace-terminal member.
+// Nodes in avoid are never expanded (sources are allowed). Returns the
+// node path including source and goal.
+func bfs(g *graph, sources []int, targets map[int]bool, avoid map[int]bool, toTerminal bool) []int {
+	type qent struct {
+		node int
+		prev int // index into visitedOrder, -1 for none
+	}
+	var queue []qent
+	visited := map[int]bool{}
+	var order []qent
+	push := func(n, prev int) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		e := qent{node: n, prev: prev}
+		queue = append(queue, e)
+		order = append(order, e)
+	}
+	reconstruct := func(idx int) []int {
+		var rev []int
+		for i := idx; i >= 0; i = order[i].prev {
+			rev = append(rev, order[i].node)
+		}
+		path := make([]int, 0, len(rev))
+		for i := len(rev) - 1; i >= 0; i-- {
+			path = append(path, rev[i])
+		}
+		return path
+	}
+	for _, s := range sources {
+		push(s, -1)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		idx := qi
+		// Goal tests.
+		if toTerminal {
+			if g.terminalMembers[cur.node] && !avoid[cur.node] {
+				// A source that is itself terminal is a genuine AFby
+				// violation candidate only if it can end without b; the
+				// concrete-divergence check will decide.
+				if cur.prev != -1 || g.terminalMembers[cur.node] {
+					return reconstruct(idx)
+				}
+			}
+		} else if targets[cur.node] && cur.prev != -1 {
+			return reconstruct(idx)
+		}
+		for _, nxt := range g.succ[cur.node] {
+			if avoid[nxt] {
+				// Target nodes may be in avoid for AP; check before skip.
+				if targets[nxt] {
+					visitedGoal := append(reconstruct(idx), nxt)
+					return visitedGoal
+				}
+				continue
+			}
+			if targets[nxt] {
+				return append(reconstruct(idx), nxt)
+			}
+			push(nxt, idx)
+		}
+	}
+	return nil
+}
+
+// splitAtDivergence walks the abstract path and maintains the set of
+// concrete events that can realize the path prefix via observed
+// consecutive transitions. At the first step where the realizable set dies
+// out, the preceding partition is split into the realizing events and the
+// rest. The invariant kind adjusts the path semantics: AP counterexamples
+// must start at trace-initial events, and AFby counterexamples must end at
+// a trace-terminal event. Returns false when the whole path is weakly
+// realizable (no split possible).
+func splitAtDivergence(partition [][]int, partLabel map[int]string, nextPart *int, g *graph, path []int, kind InvariantKind) bool {
+	if len(path) == 0 {
+		return false
+	}
+	cur := append([]event(nil), g.members[path[0]]...)
+	if kind == AlwaysPrecededBy {
+		// The counterexample enters the system at a trace start.
+		var starts []event
+		for _, e := range cur {
+			if e.index == 0 {
+				starts = append(starts, e)
+			}
+		}
+		if len(starts) == 0 {
+			// The abstract start node has no trace-initial member; split
+			// it into initial vs non-initial events.
+			return split(partition, partLabel, nextPart, path[0], cur)
+		}
+		cur = starts
+	}
+	for step := 1; step < len(path); step++ {
+		var next []event
+		for _, e := range cur {
+			if e.index+1 < len(partition[e.trace]) && partition[e.trace][e.index+1] == path[step] {
+				next = append(next, event{trace: e.trace, index: e.index + 1})
+			}
+		}
+		if len(next) == 0 {
+			// Divergence at path[step-1]: the events in cur realize the
+			// prefix but none continues to path[step]. Split the partition
+			// so the abstract edge no longer applies to them.
+			return split(partition, partLabel, nextPart, path[step-1], cur)
+		}
+		cur = next
+	}
+	if kind == AlwaysFollowedBy {
+		// The counterexample must actually be able to terminate here.
+		var terminal []event
+		for _, e := range cur {
+			if e.index == len(partition[e.trace])-1 {
+				terminal = append(terminal, e)
+			}
+		}
+		if len(terminal) == 0 {
+			// The final partition can only "end" via members that did not
+			// realize the path; split realizers away from the rest.
+			return split(partition, partLabel, nextPart, path[len(path)-1], cur)
+		}
+	}
+	return false
+}
+
+// split moves the given events of partition p into a fresh partition with
+// the same label. It refuses degenerate splits (all or none of p's
+// members), returning false.
+func split(partition [][]int, partLabel map[int]string, nextPart *int, p int, movers []event) bool {
+	moverSet := map[event]bool{}
+	for _, e := range movers {
+		if partition[e.trace][e.index] == p {
+			moverSet[e] = true
+		}
+	}
+	// Count p's total membership.
+	total := 0
+	for t := range partition {
+		for i := range partition[t] {
+			if partition[t][i] == p {
+				total++
+			}
+		}
+	}
+	if len(moverSet) == 0 || len(moverSet) == total {
+		return false
+	}
+	id := *nextPart
+	*nextPart++
+	partLabel[id] = partLabel[p]
+	for e := range moverSet {
+		partition[e.trace][e.index] = id
+	}
+	return true
+}

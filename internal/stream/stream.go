@@ -1,0 +1,267 @@
+// Package stream provides online (streaming) BehavIoT monitoring: packets
+// arrive one at a time, flows are assembled incrementally, events are
+// classified as their bursts close, and deviation metrics are evaluated
+// continuously with count-up timers — the deployment mode the paper
+// sketches for anomaly detection at a home gateway (§7.2).
+//
+// The Monitor is single-goroutine-owned: feed it packets from one
+// goroutine and read events/deviations from the callbacks it invokes
+// inline. Wrap it with a channel pump (see cmd/behaviotd) for concurrent
+// producers.
+package stream
+
+import (
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/flows"
+	"behaviot/internal/netparse"
+	"behaviot/internal/pfsm"
+)
+
+// Event re-exports the pipeline event for subscribers.
+type Event = core.Event
+
+// Deviation re-exports the pipeline deviation for subscribers.
+type Deviation = core.Deviation
+
+// Config tunes the online monitor.
+type Config struct {
+	// FlushAfter closes a flow burst that has been quiet this long
+	// (default 5 s; must exceed the assembler's burst gap).
+	FlushAfter time.Duration
+	// SilenceFactor triggers a periodic silent-group deviation when a
+	// modeled group has been quiet for SilenceFactor × period
+	// (default 5, the paper's T0 = 5T threshold).
+	SilenceFactor float64
+	// TraceGap separates user-event traces (default 1 min).
+	TraceGap time.Duration
+	// OnEvent, if set, receives every classified event.
+	OnEvent func(Event)
+	// OnDeviation, if set, receives every significant deviation.
+	OnDeviation func(Deviation)
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlushAfter <= 0 {
+		c.FlushAfter = 5 * time.Second
+	}
+	if c.SilenceFactor <= 0 {
+		c.SilenceFactor = 5
+	}
+	if c.TraceGap <= 0 {
+		c.TraceGap = time.Minute
+	}
+	return c
+}
+
+// Monitor consumes a packet stream and emits events and deviations.
+type Monitor struct {
+	cfg       Config
+	pipe      *core.Pipeline
+	assembler *flows.Assembler
+	clock     time.Time // stream time = max packet timestamp seen
+
+	// Pending flows not yet old enough to flush.
+	pending []*flows.Flow
+
+	// Open user-event trace.
+	trace      pfsm.Trace
+	traceStart time.Time
+	lastUser   time.Time
+
+	// lastSeen tracks per-group last periodic event for silence alarms;
+	// silenced marks groups already alarmed (re-armed when they recover).
+	lastSeen map[flows.GroupKey]time.Time
+	silenced map[flows.GroupKey]bool
+
+	// Counters.
+	stats Stats
+}
+
+// Stats summarizes the monitor's activity.
+type Stats struct {
+	Packets    int64
+	Flows      int64
+	Periodic   int64
+	User       int64
+	Aperiodic  int64
+	Deviations int64
+	Traces     int64
+	StreamTime time.Time
+}
+
+// NewMonitor wraps a trained pipeline and an assembler configuration for
+// online monitoring.
+func NewMonitor(pipe *core.Pipeline, acfg flows.Config, cfg Config) *Monitor {
+	return &Monitor{
+		cfg:       cfg.withDefaults(),
+		pipe:      pipe,
+		assembler: flows.NewAssembler(acfg),
+		lastSeen:  map[flows.GroupKey]time.Time{},
+		silenced:  map[flows.GroupKey]bool{},
+	}
+}
+
+// Feed processes one packet. Packets must arrive in non-decreasing time
+// order (gateway capture order).
+func (m *Monitor) Feed(p *netparse.Packet) {
+	m.stats.Packets++
+	if p.Timestamp.After(m.clock) {
+		m.clock = p.Timestamp
+	}
+	m.assembler.Add(p)
+	// Collect bursts whose burst gap has passed; hold them until
+	// FlushAfter so late packets cannot reopen them.
+	m.pending = append(m.pending, m.assembler.FlushClosed(m.clock)...)
+	m.drain(false)
+	m.checkSilence()
+}
+
+// Tick advances stream time without a packet (e.g. from a wall-clock
+// timer during total silence) and re-evaluates timers.
+func (m *Monitor) Tick(now time.Time) {
+	if now.After(m.clock) {
+		m.clock = now
+	}
+	m.pending = append(m.pending, m.assembler.FlushClosed(m.clock)...)
+	m.drain(false)
+	m.checkSilence()
+}
+
+// Close flushes everything pending and closes the open trace.
+func (m *Monitor) Close() {
+	m.pending = append(m.pending, m.assembler.Flows()...)
+	m.drain(true)
+	m.closeTrace()
+}
+
+// Stats returns a snapshot of the monitor's counters.
+func (m *Monitor) Stats() Stats {
+	s := m.stats
+	s.StreamTime = m.clock
+	return s
+}
+
+// drain classifies pending flows older than FlushAfter (or all of them
+// when force is set).
+func (m *Monitor) drain(force bool) {
+	keep := m.pending[:0]
+	for _, f := range m.pending {
+		if !force && m.clock.Sub(f.End) < m.cfg.FlushAfter {
+			keep = append(keep, f)
+			continue
+		}
+		m.classify(f)
+	}
+	m.pending = keep
+}
+
+// classify runs the pipeline on one closed burst and routes the event.
+func (m *Monitor) classify(f *flows.Flow) {
+	m.stats.Flows++
+	events := m.pipe.Classify([]*flows.Flow{f})
+	if len(events) == 0 {
+		return
+	}
+	e := events[0]
+	switch e.Class {
+	case core.EventPeriodic:
+		m.stats.Periodic++
+		key := f.Key()
+		// Periodic-event deviation on arrival.
+		if prev, ok := m.lastSeen[key]; ok {
+			if model := m.pipe.Periodic.Models()[key]; model != nil {
+				score := core.PeriodicDeviationMetric(e.Time.Sub(prev).Seconds(), model.Period)
+				if score > m.threshold() {
+					m.emitDeviation(core.Deviation{
+						Kind: core.DevPeriodic, Time: e.Time, Score: score,
+						Device: e.Device, Detail: model.String(),
+					})
+				}
+			}
+		}
+		m.lastSeen[key] = e.Time
+		m.silenced[key] = false
+	case core.EventUser:
+		m.stats.User++
+		m.extendTrace(e)
+	default:
+		m.stats.Aperiodic++
+	}
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(e)
+	}
+	// A quiet gap after the last user event closes the trace.
+	if len(m.trace) > 0 && m.clock.Sub(m.lastUser) > m.cfg.TraceGap {
+		m.closeTrace()
+	}
+}
+
+func (m *Monitor) threshold() float64 {
+	if m.pipe.Baseline != nil {
+		return m.pipe.Baseline.PeriodicThreshold
+	}
+	return core.DefaultPeriodicThreshold
+}
+
+// extendTrace appends a user event to the open trace, closing the
+// previous trace when the gap is exceeded.
+func (m *Monitor) extendTrace(e core.Event) {
+	if len(m.trace) > 0 && e.Time.Sub(m.lastUser) > m.cfg.TraceGap {
+		m.closeTrace()
+	}
+	if len(m.trace) == 0 {
+		m.traceStart = e.Time
+	}
+	m.trace = append(m.trace, e.Label)
+	m.lastUser = e.Time
+}
+
+// closeTrace evaluates the short-term metric on the completed trace.
+func (m *Monitor) closeTrace() {
+	if len(m.trace) == 0 {
+		return
+	}
+	tr := m.trace
+	m.trace = nil
+	m.stats.Traces++
+	if m.pipe.System == nil || m.pipe.Baseline == nil {
+		return
+	}
+	for _, d := range m.pipe.ShortTermDeviations([]pfsm.Trace{tr}, m.lastUser) {
+		m.emitDeviation(d)
+	}
+}
+
+// checkSilence raises count-up-timer alarms for modeled groups that have
+// gone quiet (T0 > SilenceFactor × period).
+func (m *Monitor) checkSilence() {
+	for key, last := range m.lastSeen {
+		if m.silenced[key] {
+			continue
+		}
+		model := m.pipe.Periodic.Models()[key]
+		if model == nil || model.Period <= 0 {
+			continue
+		}
+		elapsed := m.clock.Sub(last).Seconds()
+		if elapsed > m.cfg.SilenceFactor*model.Period {
+			m.silenced[key] = true
+			m.emitDeviation(core.Deviation{
+				Kind:   core.DevPeriodic,
+				Time:   m.clock,
+				Score:  core.PeriodicDeviationMetric(elapsed, model.Period),
+				Device: key.Device,
+				Detail: model.String() + " (silent)",
+			})
+		}
+	}
+}
+
+func (m *Monitor) emitDeviation(d core.Deviation) {
+	m.stats.Deviations++
+	if m.cfg.OnDeviation != nil {
+		m.cfg.OnDeviation(d)
+	}
+}

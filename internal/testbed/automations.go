@@ -1,0 +1,185 @@
+package testbed
+
+import "time"
+
+// AutomationStep is one step of a trigger-action routine: the named device
+// performs the named activity Delay after the previous step.
+type AutomationStep struct {
+	Device   string
+	Activity string
+	Delay    time.Duration
+}
+
+// Automation is one trigger-action routine from Table 7.
+type Automation struct {
+	// ID is the paper's routine identifier (R1–R16).
+	ID string
+	// Platform is "Alexa", "IFTTT", "APP", or combinations.
+	Platform string
+	// Description summarizes the routine.
+	Description string
+	// Steps are executed in order; the first step is the trigger event.
+	Steps []AutomationStep
+}
+
+// Automations reproduces the Table 7 routine set. Delays are the
+// event-to-event latencies of the automation platform (well under the
+// 1-minute trace gap, so each routine execution forms one event trace).
+var Automations = []Automation{
+	{
+		ID: "R1", Platform: "Alexa&IFTTT",
+		Description: "voice 'open/close garage' opens/closes the Meross Dooropener",
+		Steps: []AutomationStep{
+			{Device: "Echo Spot", Activity: "voice", Delay: 0},
+			{Device: "Meross Dooropener", Activity: "open", Delay: 2 * time.Second},
+		},
+	},
+	{
+		ID: "R2", Platform: "Alexa",
+		Description: "all lights on routine",
+		Steps: []AutomationStep{
+			{Device: "Echo Spot", Activity: "voice", Delay: 0},
+			{Device: "TPLink Bulb", Activity: "on", Delay: 1 * time.Second},
+			{Device: "Smartlife Bulb", Activity: "on", Delay: 800 * time.Millisecond},
+			{Device: "Gosund Bulb", Activity: "on", Delay: 700 * time.Millisecond},
+			{Device: "Govee Bulb", Activity: "on", Delay: 900 * time.Millisecond},
+		},
+	},
+	{
+		ID: "R3", Platform: "Alexa",
+		Description: "all lights off routine",
+		Steps: []AutomationStep{
+			{Device: "Echo Spot", Activity: "voice", Delay: 0},
+			{Device: "TPLink Bulb", Activity: "off", Delay: 1 * time.Second},
+			{Device: "Smartlife Bulb", Activity: "off", Delay: 850 * time.Millisecond},
+			{Device: "Gosund Bulb", Activity: "off", Delay: 750 * time.Millisecond},
+			{Device: "Govee Bulb", Activity: "off", Delay: 950 * time.Millisecond},
+		},
+	},
+	{
+		ID: "R4", Platform: "Alexa",
+		Description: "voice 'turn on TV' (SwitchBot Hub) then Magichome Strip off",
+		Steps: []AutomationStep{
+			{Device: "Echo Spot", Activity: "voice", Delay: 0},
+			{Device: "SwitchBot Hub", Activity: "on", Delay: 1500 * time.Millisecond},
+			{Device: "Magichome Strip", Activity: "off", Delay: 2 * time.Second},
+		},
+	},
+	{
+		ID: "R5", Platform: "Alexa",
+		Description: "voice 'turn off TV' (SwitchBot Hub) then Magichome Strip on",
+		Steps: []AutomationStep{
+			{Device: "Echo Spot", Activity: "voice", Delay: 0},
+			{Device: "SwitchBot Hub", Activity: "off", Delay: 1500 * time.Millisecond},
+			{Device: "Magichome Strip", Activity: "on", Delay: 2 * time.Second},
+		},
+	},
+	{
+		ID: "R6", Platform: "Alexa",
+		Description: "doorbell ring: Wemo Plug on, Echo weather report, Wemo Plug off after 5 s",
+		Steps: []AutomationStep{
+			{Device: "Ring Doorbell", Activity: "ring", Delay: 0},
+			{Device: "Wemo Plug", Activity: "on", Delay: 2 * time.Second},
+			{Device: "Echo Spot", Activity: "voice", Delay: 1 * time.Second},
+			{Device: "Wemo Plug", Activity: "off", Delay: 5 * time.Second},
+		},
+	},
+	{
+		ID: "R7", Platform: "Alexa",
+		Description: "doorbell motion: blink Smartlife Bulb, set Jinvoo Bulb red",
+		Steps: []AutomationStep{
+			{Device: "Ring Doorbell", Activity: "motion", Delay: 0},
+			{Device: "Smartlife Bulb", Activity: "on", Delay: 1800 * time.Millisecond},
+			{Device: "Jinvoo Bulb", Activity: "color", Delay: 1200 * time.Millisecond},
+			{Device: "Smartlife Bulb", Activity: "off", Delay: 5 * time.Second},
+		},
+	},
+	{
+		ID: "R8", Platform: "Alexa",
+		Description: "Ring Camera motion turns on Gosund Bulb",
+		Steps: []AutomationStep{
+			{Device: "Ring Camera", Activity: "motion", Delay: 0},
+			{Device: "Gosund Bulb", Activity: "on", Delay: 2 * time.Second},
+		},
+	},
+	{
+		ID: "R9", Platform: "Alexa",
+		Description: "D-Link Camera motion turns on TPLink Bulb",
+		Steps: []AutomationStep{
+			{Device: "D-Link Camera", Activity: "motion", Delay: 0},
+			{Device: "TPLink Bulb", Activity: "on", Delay: 2200 * time.Millisecond},
+		},
+	},
+	{
+		ID: "R10", Platform: "APP",
+		Description: "Nest Thermostat on at 6 AM, off at 10 PM",
+		Steps: []AutomationStep{
+			{Device: "Nest Thermostat", Activity: "on", Delay: 0},
+		},
+	},
+	{
+		ID: "R11", Platform: "Alexa",
+		Description: "'I am leaving': thermostat 72, open garage, close after 5 min",
+		Steps: []AutomationStep{
+			{Device: "Echo Spot", Activity: "voice", Delay: 0},
+			{Device: "Nest Thermostat", Activity: "set", Delay: 2 * time.Second},
+			{Device: "Meross Dooropener", Activity: "open", Delay: 2 * time.Second},
+			{Device: "Meross Dooropener", Activity: "close", Delay: 20 * time.Second},
+		},
+	},
+	{
+		ID: "R12", Platform: "IFTTT",
+		Description: "Wyze Camera motion: TPLink Plug on, clip, TPLink Plug off",
+		Steps: []AutomationStep{
+			{Device: "Wyze Camera", Activity: "motion", Delay: 0},
+			{Device: "TPLink Plug", Activity: "on", Delay: 3 * time.Second},
+			{Device: "Wyze Camera", Activity: "video", Delay: 2 * time.Second},
+			{Device: "TPLink Plug", Activity: "off", Delay: 6 * time.Second},
+		},
+	},
+	{
+		ID: "R13", Platform: "IFTTT",
+		Description: "morning routine: 'good morning' boils iKettle, Govee Bulb on",
+		Steps: []AutomationStep{
+			{Device: "Echo Spot", Activity: "voice", Delay: 0},
+			{Device: "iKettle", Activity: "on", Delay: 4 * time.Second},
+			{Device: "Govee Bulb", Activity: "on", Delay: 2 * time.Second},
+		},
+	},
+	{
+		ID: "R14", Platform: "IFTTT",
+		Description: "good night routine: Govee Bulb off",
+		Steps: []AutomationStep{
+			{Device: "Echo Spot", Activity: "voice", Delay: 0},
+			{Device: "Govee Bulb", Activity: "off", Delay: 3 * time.Second},
+		},
+	},
+	{
+		ID: "R15", Platform: "IFTTT",
+		Description: "Meross opens: TPLink Bulb on, color maroon",
+		Steps: []AutomationStep{
+			{Device: "Meross Dooropener", Activity: "open", Delay: 0},
+			{Device: "TPLink Bulb", Activity: "on", Delay: 3 * time.Second},
+			{Device: "TPLink Bulb", Activity: "color", Delay: 1500 * time.Millisecond},
+		},
+	},
+	{
+		ID: "R16", Platform: "IFTTT",
+		Description: "Meross closes: TPLink Plug off, TPLink Bulb green",
+		Steps: []AutomationStep{
+			{Device: "Meross Dooropener", Activity: "close", Delay: 0},
+			{Device: "TPLink Plug", Activity: "off", Delay: 3 * time.Second},
+			{Device: "TPLink Bulb", Activity: "color", Delay: 1500 * time.Millisecond},
+		},
+	},
+}
+
+// AutomationByID returns the automation with the given ID, or nil.
+func AutomationByID(id string) *Automation {
+	for i := range Automations {
+		if Automations[i].ID == id {
+			return &Automations[i]
+		}
+	}
+	return nil
+}

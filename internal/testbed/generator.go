@@ -1,0 +1,314 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"behaviot/internal/netparse"
+)
+
+// Generator synthesizes gateway traffic for the testbed. All output is
+// deterministic given the same seed: periodic event times are derived from
+// absolute time (so windowed generation composes seamlessly), and payload
+// size jitter comes from per-event hashes.
+type Generator struct {
+	TB   *Testbed
+	Seed int64
+}
+
+// NewGenerator creates a Generator.
+func NewGenerator(tb *Testbed, seed int64) *Generator {
+	return &Generator{TB: tb, Seed: seed}
+}
+
+const (
+	tcpOverhead = 54 // Ethernet + IPv4 + TCP headers
+	udpOverhead = 42 // Ethernet + IPv4 + UDP headers
+)
+
+// splitmix is a tiny splitmix64 rand.Source64. The default math/rand
+// source spends microseconds seeding a 607-word state array, which
+// dominates generation cost when every synthetic event gets its own
+// deterministic RNG; splitmix64 seeds in O(1).
+type splitmix struct{ x uint64 }
+
+func (s *splitmix) Seed(seed int64) { s.x = uint64(seed) }
+func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix) Uint64() uint64 {
+	s.x += 0x9E3779B97F4A7C15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// eventRNG returns a deterministic RNG for a named event instance.
+func (g *Generator) eventRNG(parts ...string) *rand.Rand {
+	h := deviceSeed(parts...)
+	return rand.New(&splitmix{x: uint64(g.Seed) ^ h})
+}
+
+// srcPort derives a stable ephemeral port for a traffic stream.
+func srcPort(parts ...string) uint16 {
+	return uint16(40000 + deviceSeed(parts...)%20000)
+}
+
+// mkPacket builds a metadata-only packet (payload sizes are carried via
+// WireLen; the pipeline never reads payloads of encrypted app traffic).
+func mkPacket(ts time.Time, src, dst netip.Addr, sport, dport uint16, proto netparse.Protocol, payloadLen int, payload []byte) *netparse.Packet {
+	overhead := tcpOverhead
+	if proto == netparse.ProtoUDP {
+		overhead = udpOverhead
+	}
+	if payload != nil {
+		payloadLen = len(payload)
+	}
+	return &netparse.Packet{
+		Timestamp: ts,
+		SrcIP:     src, DstIP: dst,
+		SrcPort: sport, DstPort: dport,
+		Proto:   proto,
+		Payload: payload,
+		WireLen: overhead + payloadLen,
+	}
+}
+
+// exchange emits alternating request/response packets for the given
+// payload-size pairs starting at ts, with gaps of 20–80 ms.
+func exchange(rng *rand.Rand, ts time.Time, dev, remote netip.Addr, sport, dport uint16, proto netparse.Protocol, pairs [][2]int, sizeJitter int) []*netparse.Packet {
+	var out []*netparse.Packet
+	t := ts
+	jit := func(base int) int {
+		if sizeJitter <= 0 {
+			return base
+		}
+		v := base + rng.Intn(2*sizeJitter+1) - sizeJitter
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	for _, p := range pairs {
+		out = append(out, mkPacket(t, dev, remote, sport, dport, proto, jit(p[0]), nil))
+		t = t.Add(time.Duration(20+rng.Intn(60)) * time.Millisecond)
+		out = append(out, mkPacket(t, remote, dev, dport, sport, proto, jit(p[1]), nil))
+		t = t.Add(time.Duration(20+rng.Intn(60)) * time.Millisecond)
+	}
+	return out
+}
+
+// BootstrapDNS emits DNS query/response pairs resolving every domain the
+// device communicates with, anchored at the window start. This mirrors
+// devices re-resolving their endpoints after boot and gives the pipeline's
+// resolver the IP→domain mappings it needs.
+func (g *Generator) BootstrapDNS(dev *DeviceProfile, at time.Time) []*netparse.Packet {
+	resolver := g.TB.DomainIP[LocalDNSDomain]
+	domains := map[string]bool{}
+	for _, p := range dev.Periodic {
+		if p.Proto != "DNS" && p.LocalPeer == "" {
+			domains[p.Domain] = true
+		}
+	}
+	for _, a := range dev.Activities {
+		domains[a.Domain] = true
+	}
+	sorted := make([]string, 0, len(domains))
+	for d := range domains {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var out []*netparse.Packet
+	t := at
+	sport := srcPort(dev.Name, "bootstrap-dns")
+	rng := g.eventRNG("bootstrap", dev.Name, at.Format(time.RFC3339))
+	for _, domain := range sorted {
+		id := uint16(deviceSeed("dnsid", dev.Name, domain))
+		q := &netparse.DNSMessage{
+			ID:        id,
+			Questions: []netparse.DNSQuestion{{Name: domain, Type: netparse.DNSTypeA, Class: netparse.DNSClassIN}},
+		}
+		qb, err := netparse.EncodeDNS(q)
+		if err != nil {
+			continue
+		}
+		r := &netparse.DNSMessage{
+			ID:        id,
+			Response:  true,
+			Questions: q.Questions,
+			Answers: []netparse.DNSAnswer{{
+				Name: domain, Type: netparse.DNSTypeA, Class: netparse.DNSClassIN,
+				TTL: 300, IP: g.TB.DomainIP[domain],
+			}},
+		}
+		rb, err := netparse.EncodeDNS(r)
+		if err != nil {
+			continue
+		}
+		// All bootstrap queries share one socket, so the whole burst forms
+		// a single flow burst at the gateway (as a real resolver stub
+		// reusing its socket would).
+		out = append(out,
+			mkPacket(t, dev.IP, resolver, sport, 53, netparse.ProtoUDP, 0, qb),
+			mkPacket(t.Add(time.Duration(5+rng.Intn(20))*time.Millisecond),
+				resolver, dev.IP, 53, sport, netparse.ProtoUDP, 0, rb),
+		)
+		t = t.Add(time.Duration(100+rng.Intn(150)) * time.Millisecond)
+	}
+	return out
+}
+
+// periodicEventTimes returns the nominal event instants of a spec within
+// [from, to), derived from absolute time so that adjacent windows compose.
+// Each instant carries deterministic jitter.
+func (g *Generator) periodicEventTimes(dev *DeviceProfile, specIdx int, from, to time.Time) []time.Time {
+	spec := dev.Periodic[specIdx]
+	period := spec.Period.Seconds()
+	if period <= 0 {
+		return nil
+	}
+	phase := float64(deviceSeed("phase", dev.Name, fmt.Sprint(specIdx)) % uint64(spec.Period/time.Millisecond))
+	phaseSec := phase / 1000.0
+	start := float64(from.Unix())
+	end := float64(to.Unix())
+	k0 := int64(math.Ceil((start - phaseSec) / period))
+	var out []time.Time
+	for k := k0; ; k++ {
+		nominal := phaseSec + float64(k)*period
+		if nominal >= end {
+			break
+		}
+		rng := g.eventRNG("pjit", dev.Name, fmt.Sprint(specIdx), fmt.Sprint(k))
+		j := (rng.Float64()*2 - 1) * spec.Jitter * period
+		ts := nominal + j
+		if ts < start || ts >= end {
+			continue
+		}
+		sec := int64(ts)
+		out = append(out, time.Unix(sec, int64((ts-float64(sec))*1e9)).UTC())
+	}
+	return out
+}
+
+// PeriodicWindow synthesizes all periodic traffic of a device within
+// [from, to), sorted by time.
+func (g *Generator) PeriodicWindow(dev *DeviceProfile, from, to time.Time) []*netparse.Packet {
+	var out []*netparse.Packet
+	for si, spec := range dev.Periodic {
+		remote := g.TB.DomainIP[spec.Domain]
+		if spec.LocalPeer != "" {
+			if peer := g.TB.Device(spec.LocalPeer); peer != nil {
+				remote = peer.IP
+			}
+		}
+		sport := srcPort(dev.Name, "periodic", fmt.Sprint(si))
+		for _, ts := range g.periodicEventTimes(dev, si, from, to) {
+			rng := g.eventRNG("pburst", dev.Name, fmt.Sprint(si), ts.Format(time.RFC3339Nano))
+			switch spec.Proto {
+			case "DNS":
+				out = append(out, g.periodicDNS(dev, spec, ts, sport, rng)...)
+			case "NTP":
+				out = append(out, g.periodicNTP(dev, spec, ts, sport, remote)...)
+			default:
+				proto := netparse.ProtoTCP
+				if spec.Proto == "UDP" {
+					proto = netparse.ProtoUDP
+				}
+				pairs := make([][2]int, spec.Pairs)
+				for i := range pairs {
+					pairs[i] = [2]int{spec.OutSize, spec.InSize}
+				}
+				out = append(out, exchange(rng, ts, dev.IP, remote, sport, spec.DstPort, proto, pairs, 4)...)
+			}
+		}
+	}
+	sortPackets(out)
+	return out
+}
+
+// periodicDNS synthesizes one periodic DNS re-resolution: the device
+// refreshes one of its app domains (rotating by event hash).
+func (g *Generator) periodicDNS(dev *DeviceProfile, spec PeriodicSpec, ts time.Time, sport uint16, rng *rand.Rand) []*netparse.Packet {
+	resolver := g.TB.DomainIP[LocalDNSDomain]
+	var appDomains []string
+	for _, p := range dev.Periodic {
+		if p.Proto != "DNS" && p.Proto != "NTP" && p.LocalPeer == "" {
+			appDomains = append(appDomains, p.Domain)
+		}
+	}
+	if len(appDomains) == 0 {
+		appDomains = []string{LocalDNSDomain}
+	}
+	domain := appDomains[rng.Intn(len(appDomains))]
+	id := uint16(rng.Intn(65536))
+	q := &netparse.DNSMessage{
+		ID:        id,
+		Questions: []netparse.DNSQuestion{{Name: domain, Type: netparse.DNSTypeA, Class: netparse.DNSClassIN}},
+	}
+	qb, _ := netparse.EncodeDNS(q)
+	r := &netparse.DNSMessage{
+		ID: id, Response: true, Questions: q.Questions,
+		Answers: []netparse.DNSAnswer{{
+			Name: domain, Type: netparse.DNSTypeA, Class: netparse.DNSClassIN,
+			TTL: 300, IP: g.TB.DomainIP[domain],
+		}},
+	}
+	rb, _ := netparse.EncodeDNS(r)
+	return []*netparse.Packet{
+		mkPacket(ts, dev.IP, resolver, sport, 53, netparse.ProtoUDP, 0, qb),
+		mkPacket(ts.Add(12*time.Millisecond), resolver, dev.IP, 53, sport, netparse.ProtoUDP, 0, rb),
+	}
+}
+
+// periodicNTP synthesizes one NTP sync exchange.
+func (g *Generator) periodicNTP(dev *DeviceProfile, spec PeriodicSpec, ts time.Time, sport uint16, remote netip.Addr) []*netparse.Packet {
+	req := netparse.EncodeNTP(&netparse.NTPPacket{Mode: netparse.NTPModeClient, Transmit: ts})
+	resp := netparse.EncodeNTP(&netparse.NTPPacket{Mode: netparse.NTPModeServer, Stratum: 2, Transmit: ts.Add(15 * time.Millisecond)})
+	return []*netparse.Packet{
+		mkPacket(ts, dev.IP, remote, sport, netparse.NTPPort, netparse.ProtoUDP, 0, req),
+		mkPacket(ts.Add(30*time.Millisecond), remote, dev.IP, netparse.NTPPort, sport, netparse.ProtoUDP, 0, resp),
+	}
+}
+
+// Activity synthesizes the traffic of one user-activity occurrence. The
+// repetition index distinguishes payload jitter across repetitions.
+func (g *Generator) Activity(dev *DeviceProfile, act *ActivitySpec, at time.Time, rep int) []*netparse.Packet {
+	rng := g.eventRNG("activity", dev.Name, act.Name, fmt.Sprint(rep), at.Format(time.RFC3339Nano))
+	remote := g.TB.DomainIP[act.Domain]
+	sport := srcPort(dev.Name, "act", act.Name)
+	out := exchange(rng, at, dev.IP, remote, sport, act.DstPort, netparse.ProtoTCP, act.Exchange, act.SizeJitter)
+	// Trailing noise packets (ACK-only segments and small status pushes;
+	// sizes stay in the ACK range so they perturb rather than dominate
+	// the flow's size statistics).
+	t := out[len(out)-1].Timestamp
+	for i := 0; i < act.Extra; i++ {
+		t = t.Add(time.Duration(30+rng.Intn(120)) * time.Millisecond)
+		size := 40 + rng.Intn(26)
+		if rng.Intn(2) == 0 {
+			out = append(out, mkPacket(t, dev.IP, remote, sport, act.DstPort, netparse.ProtoTCP, size, nil))
+		} else {
+			out = append(out, mkPacket(t, remote, dev.IP, act.DstPort, sport, netparse.ProtoTCP, size, nil))
+		}
+	}
+	return out
+}
+
+// sortPackets orders packets by timestamp (stable for equal times).
+func sortPackets(ps []*netparse.Packet) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		return ps[i].Timestamp.Before(ps[j].Timestamp)
+	})
+}
+
+// MergePackets merges several packet streams into one time-ordered stream.
+func MergePackets(streams ...[]*netparse.Packet) []*netparse.Packet {
+	var out []*netparse.Packet
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sortPackets(out)
+	return out
+}
