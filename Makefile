@@ -1,0 +1,42 @@
+# BehavIoT build/test/verify entry points. CI (.github/workflows/ci.yml)
+# runs every target below; `make check` is the full local equivalent.
+
+GO ?= go
+
+.PHONY: all build test race vet lint fmt-check check clean
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the unit and integration test suite
+test:
+	$(GO) test ./...
+
+## race: run the test suite under the race detector (includes the
+## dnsdb/behaviotd concurrency stress tests)
+race:
+	$(GO) test -race ./...
+
+## vet: run go vet's standard checks
+vet:
+	$(GO) vet ./...
+
+## lint: run behaviotlint, the project static-analysis suite
+## (determinism, floateq, errcheck, lockguard); nonzero exit on findings
+lint:
+	$(GO) run ./cmd/behaviotlint ./...
+
+## fmt-check: fail if any file is not gofmt-formatted
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## check: everything CI runs
+check: build vet fmt-check lint test race
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/stream"
+)
+
+// TestRingBuffersConcurrent exercises the ringMu-guarded recent-event
+// and recent-deviation buffers with parallel feeder writes and HTTP
+// reads, the exact concurrency the daemon sees in production (a feeder
+// goroutine invoking record() while handlers serve /events and
+// /deviations). Run under `go test -race`; the detector is the oracle.
+func TestRingBuffersConcurrent(t *testing.T) {
+	log.SetOutput(io.Discard) // record() logs each deviation
+	defer log.SetOutput(os.Stderr)
+
+	srv := &server{started: time.Now()}
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 300 // writers * rounds must overfill the 256-slot rings
+		reads   = 60  // JSON-encoding a full ring is slow under -race
+	)
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				e := stream.Event{
+					Class:  core.EventUser,
+					Device: "TPLink Plug",
+					Label:  "TPLink Plug:on",
+					Time:   base.Add(time.Duration(i) * time.Second),
+				}
+				d := stream.Deviation{
+					Kind:   core.DevShortTerm,
+					Device: "Gosund Bulb",
+					Score:  0.9,
+					Time:   base.Add(time.Duration(i) * time.Second),
+				}
+				srv.record(&e, nil)
+				srv.record(nil, &d)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				for _, serve := range []func(){
+					func() {
+						rec := httptest.NewRecorder()
+						srv.handleEvents(rec, httptest.NewRequest("GET", "/events", nil))
+						checkJSONArray(t, rec.Body.Bytes())
+					},
+					func() {
+						rec := httptest.NewRecorder()
+						srv.handleDeviations(rec, httptest.NewRequest("GET", "/deviations", nil))
+						checkJSONArray(t, rec.Body.Bytes())
+					},
+				} {
+					serve()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The rings must have filled to capacity and then stayed bounded.
+	srv.ringMu.Lock()
+	defer srv.ringMu.Unlock()
+	if len(srv.events) != ringSize {
+		t.Errorf("events ring length = %d, want %d", len(srv.events), ringSize)
+	}
+	if len(srv.deviations) != ringSize {
+		t.Errorf("deviations ring length = %d, want %d", len(srv.deviations), ringSize)
+	}
+}
+
+// checkJSONArray asserts a handler produced a well-formed JSON array of
+// bounded size even while the rings were being rewritten underneath it.
+func checkJSONArray(t *testing.T, body []byte) {
+	t.Helper()
+	var arr []map[string]any
+	if err := json.Unmarshal(body, &arr); err != nil {
+		t.Errorf("handler body is not a JSON array: %v", err)
+		return
+	}
+	if len(arr) > ringSize {
+		t.Errorf("handler returned %d entries, ring bound is %d", len(arr), ringSize)
+	}
+}

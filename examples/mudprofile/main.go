@@ -49,7 +49,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	os.Stdout.Write(doc)
+	if _, err := os.Stdout.Write(doc); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
 
 	// Compliance check: a fresh day of normal traffic should comply; a

@@ -46,7 +46,7 @@ type entry struct {
 // DB is a concurrency-safe IP→domain database. The zero value is ready to
 // use.
 type DB struct {
-	mu      sync.RWMutex
+	mu      sync.RWMutex // guards entries, reverse
 	entries map[netip.Addr]entry
 	reverse map[netip.Addr]string // static reverse-DNS fallback
 }

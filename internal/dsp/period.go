@@ -3,6 +3,8 @@ package dsp
 import (
 	"math"
 	"sort"
+
+	"behaviot/internal/stats"
 )
 
 // PeriodResult describes one detected period in a point process.
@@ -276,7 +278,7 @@ func acfAtLag(x []float64, lag int) float64 {
 			num += d * (x[i+lag] - mean)
 		}
 	}
-	if denom == 0 {
+	if stats.IsZero(denom) {
 		return 0
 	}
 	return num / denom

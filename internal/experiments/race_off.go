@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector. The heaviest full-dataset replay tests skip under -race:
+// they are single-goroutine analysis loops (nothing for the detector to
+// find) that slow down >10x and blow the test-binary timeout. See
+// race_on.go for the -race build.
+const raceEnabled = false

@@ -131,7 +131,7 @@ func FitNormalizer(vectors [][]float64) *Normalizer {
 		}
 		m, s := stats.MeanStd(col)
 		n.mean[d] = m
-		if s == 0 {
+		if stats.IsZero(s) {
 			s = 1 // constant feature: leave centered values at 0
 		}
 		n.std[d] = s

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GeneratorPackages lists the import-path suffixes of packages whose
+// output must be a pure function of their seed: the dataset and testbed
+// generators the evaluation replays. Wall-clock reads or global-RNG
+// draws in these packages change results between runs without failing
+// any test, so they are banned outright.
+var GeneratorPackages = []string{
+	"internal/datasets",
+	"internal/testbed",
+}
+
+// wallClockFuncs are time-package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true, // time.Since(t) == time.Now().Sub(t)
+	"Until": true, // time.Until(t) == t.Sub(time.Now())
+}
+
+// seededRandFuncs are the math/rand package-level functions that are
+// allowed because they construct seeded generators rather than draw
+// from the global one.
+var seededRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Determinism forbids wall-clock reads and global math/rand use inside
+// generator packages. Only seeded *rand.Rand instances are allowed, the
+// convention already used throughout internal/datasets (for example
+// InjectNewEvents in perturb.go).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now and global math/rand in seeded generator packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pkg *Package) []Finding {
+	if !isGeneratorPackage(pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		imports := fileImports(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Only call positions matter: `*rand.Rand` in a signature is
+			// the approved convention, `rand.Intn(...)` is the violation.
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, ok := packageOf(pkg, imports, sel)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case path == "time" && wallClockFuncs[name]:
+				out = append(out, finding(pkg, "determinism", sel.Pos(),
+					"wall-clock read time.%s in generator package %s; derive timestamps from seeded inputs so runs replay byte-identically", name, pkg.Path))
+			case (path == "math/rand" || path == "math/rand/v2") && !seededRandFuncs[name]:
+				out = append(out, finding(pkg, "determinism", sel.Pos(),
+					"global math/rand RNG rand.%s in generator package %s; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))", name, pkg.Path))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isGeneratorPackage(path string) bool {
+	for _, g := range GeneratorPackages {
+		if path == g || strings.HasSuffix(path, "/"+g) || path == strings.TrimPrefix(g, "internal/") {
+			return true
+		}
+	}
+	return false
+}
+
+// fileImports maps local package identifiers to import paths for one
+// file, used as a syntactic fallback when type information is missing.
+func fileImports(file *ast.File) map[string]string {
+	m := make(map[string]string, len(file.Imports))
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name != "_" && name != "." {
+			m[name] = path
+		}
+	}
+	return m
+}
+
+// packageOf resolves the X of a selector to an imported package path.
+// It prefers type information (which distinguishes a package name from
+// a variable shadowing it) and falls back to the file's import table.
+func packageOf(pkg *Package, imports map[string]string, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		pn, ok := obj.(*types.PkgName)
+		if !ok {
+			return "", false // a variable, not a package qualifier
+		}
+		return pn.Imported().Path(), true
+	}
+	path, ok := imports[id.Name]
+	return path, ok
+}

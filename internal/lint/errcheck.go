@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckAllowed lists functions whose returned error is conventionally
+// ignored, keyed by the type-checker's full name. fmt print functions
+// only fail when the underlying writer fails, which the surrounding
+// code observes separately; strings.Builder and bytes.Buffer document
+// that their Write methods always return a nil error.
+var ErrCheckAllowed = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*strings.Builder).WriteString": true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(*bytes.Buffer).WriteString":    true,
+}
+
+// ErrCheck flags statements that drop an error on the floor outside
+// tests: a call statement whose callee returns an error, and blanket
+// discards assigning every result to the blank identifier. Deferred
+// calls are deliberately out of scope (`defer f.Close()` on read paths
+// is an accepted idiom here).
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag dropped error returns outside tests",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, bad := droppedError(pkg, call); bad {
+					out = append(out, finding(pkg, "errcheck", call.Pos(),
+						"error return of %s is dropped; handle it or //lint:ignore errcheck <reason>", name))
+				}
+			case *ast.AssignStmt:
+				if !allBlank(st.Lhs) || len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, bad := droppedError(pkg, call); bad {
+					out = append(out, finding(pkg, "errcheck", st.Pos(),
+						"error return of %s is discarded with _; handle it or //lint:ignore errcheck <reason>", name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// droppedError reports whether call returns an error that the caller is
+// ignoring, and a printable callee name. Calls without type information
+// and allowlisted callees return false.
+func droppedError(pkg *Package, call *ast.CallExpr) (string, bool) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return "", false // conversion or built-in
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	if !isErrorType(res.At(res.Len() - 1).Type()) {
+		return "", false
+	}
+	name := calleeName(pkg, call)
+	if ErrCheckAllowed[name] {
+		return "", false
+	}
+	return name, true
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeName returns the type-checker's full name for the called
+// function ("fmt.Fprintf", "(*os.File).Close"), falling back to the
+// printed expression for function values.
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	}
+	if id != nil {
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+			return fn.FullName()
+		}
+	}
+	return render(pkg.Fset, call.Fun)
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != comparisons where either operand has floating
+// point type, outside _test.go files. Accumulated rounding error makes
+// exact float comparison a reproduction hazard in the model code; use
+// stats.ApproxEqual / stats.IsZero, or restructure the comparison, or
+// suppress with a justified //lint:ignore floateq when exactness is the
+// point (e.g. a divide-by-zero guard).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on floating-point operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pkg, be.X) || isFloat(pkg, be.Y) {
+				out = append(out, finding(pkg, "floateq", be.OpPos,
+					"floating-point %s comparison (%s); use an epsilon comparison such as stats.ApproxEqual, or //lint:ignore floateq <reason> if exactness is intended",
+					be.Op, render(pkg.Fset, be)))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether e's type is (or is a named type whose
+// underlying type is) a floating-point or complex type. Untyped float
+// constants count too: `x == 0.5` compares floats even though 0.5 is
+// untyped at parse time.
+func isFloat(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// render prints a short single-line form of an expression for messages.
+func render(fset *token.FileSet, n ast.Node) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, n); err != nil {
+		return "?"
+	}
+	s := strings.Join(strings.Fields(sb.String()), " ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

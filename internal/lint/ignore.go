@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either as a trailing comment on the offending line or on the
+// line directly above it. The reason is mandatory so every exception
+// documents why the rule does not apply; an ignore without a reason is
+// itself reported as a finding (analyzer "lint") rather than silently
+// honored.
+
+type ignoreDirective struct {
+	file      string
+	line      int // line the directive is written on
+	analyzers map[string]bool
+}
+
+type ignoreSet struct {
+	directives []ignoreDirective
+	malformed  []Finding
+}
+
+// collectIgnores scans all comments in pkg for lint:ignore directives.
+func collectIgnores(pkg *Package) *ignoreSet {
+	set := &ignoreSet{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed lint:ignore: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(fields[0], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+				set.directives = append(set.directives, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: names,
+				})
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether a directive covers finding f: same file,
+// matching analyzer, written on f's line or the line above it.
+func (s *ignoreSet) suppresses(f Finding) bool {
+	for _, d := range s.directives {
+		if d.file != f.File {
+			continue
+		}
+		if d.line != f.Line && d.line != f.Line-1 {
+			continue
+		}
+		if d.analyzers[f.Analyzer] || d.analyzers["all"] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces the repository's `// guards X` documentation
+// convention. A mutex field commented
+//
+//	mu sync.Mutex // guards counters, lastSeen
+//
+// declares that counters and lastSeen may only be touched while mu is
+// held. The analyzer reports any read or write of a guarded field in a
+// method on the same struct that never locks the declared mutex.
+//
+// The check is method-granular, matching how the convention is used: a
+// method either takes the lock (Lock/RLock anywhere in its body,
+// including defer) or it documents, via a name ending in "Locked", that
+// its callers hold it. It does not model cross-function flow, so
+// helpers invoked with the lock held should use the Locked suffix.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "report guarded-field access in methods that never lock the guarding mutex",
+	Run:  runLockGuard,
+}
+
+// guardsRe matches the guards clause of a mutex field comment.
+var guardsRe = regexp.MustCompile(`\bguards\s+([A-Za-z0-9_,\s]+)`)
+
+// mutexTypes are the sync types a guards comment may annotate.
+var mutexTypes = map[string]bool{"Mutex": true, "RWMutex": true}
+
+// lockMethods are the methods that acquire a mutex (Lock for Mutex,
+// RLock for the read side of RWMutex, TryLock variants since go1.18).
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+
+// guardSpec records, for one struct type, which mutex field guards
+// which data fields.
+type guardSpec struct {
+	// mutexOf maps a guarded field name to the mutex field that guards it.
+	mutexOf map[string]string
+}
+
+func runLockGuard(pkg *Package) []Finding {
+	specs := collectGuardSpecs(pkg)
+	if len(specs) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) != 1 {
+				continue
+			}
+			spec, ok := specs[recvTypeName(fn.Recv.List[0].Type)]
+			if !ok {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // documented as "caller holds the lock"
+			}
+			recv := recvName(fn.Recv.List[0])
+			if recv == "" {
+				continue
+			}
+			out = append(out, checkMethod(pkg, fn, recv, spec)...)
+		}
+	}
+	return out
+}
+
+// collectGuardSpecs scans struct declarations for mutex fields with a
+// guards comment and returns specs keyed by struct type name.
+func collectGuardSpecs(pkg *Package) map[string]*guardSpec {
+	specs := map[string]*guardSpec{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !isMutexType(field.Type) || len(field.Names) != 1 {
+					continue
+				}
+				guarded := guardedNames(field)
+				if len(guarded) == 0 {
+					continue
+				}
+				spec := specs[ts.Name.Name]
+				if spec == nil {
+					spec = &guardSpec{mutexOf: map[string]string{}}
+					specs[ts.Name.Name] = spec
+				}
+				for _, g := range guarded {
+					spec.mutexOf[g] = field.Names[0].Name
+				}
+			}
+			return true
+		})
+	}
+	return specs
+}
+
+// guardedNames parses the field list out of a `// guards a, b` comment
+// attached to a struct field (either doc or trailing line comment).
+func guardedNames(field *ast.Field) []string {
+	var texts []string
+	if field.Doc != nil {
+		texts = append(texts, field.Doc.Text())
+	}
+	if field.Comment != nil {
+		texts = append(texts, field.Comment.Text())
+	}
+	for _, text := range texts {
+		m := guardsRe.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		var names []string
+		for _, part := range strings.Split(m[1], ",") {
+			if name := strings.TrimSpace(part); name != "" {
+				names = append(names, name)
+			}
+		}
+		return names
+	}
+	return nil
+}
+
+func isMutexType(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "sync" && mutexTypes[sel.Sel.Name]
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+func recvName(f *ast.Field) string {
+	if len(f.Names) != 1 || f.Names[0].Name == "_" {
+		return ""
+	}
+	return f.Names[0].Name
+}
+
+// checkMethod reports guarded-field accesses whose guarding mutex is
+// never locked anywhere in the method body.
+func checkMethod(pkg *Package, fn *ast.FuncDecl, recv string, spec *guardSpec) []Finding {
+	locked := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// recv.<mutex>.Lock() / RLock() / TryLock()
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockMethods[sel.Sel.Name] {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := inner.X.(*ast.Ident)
+		if ok && base.Name == recv {
+			locked[inner.Sel.Name] = true
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Name != recv {
+			return true
+		}
+		mutex, guarded := spec.mutexOf[sel.Sel.Name]
+		if !guarded || locked[mutex] {
+			return true
+		}
+		out = append(out, finding(pkg, "lockguard", sel.Pos(),
+			"%s.%s is guarded by %s (per its guards comment) but method %s never locks it; lock %s, rename the method with a Locked suffix, or //lint:ignore lockguard <reason>",
+			recv, sel.Sel.Name, mutex, fn.Name.Name, mutex))
+		return true
+	})
+	return out
+}

@@ -1,0 +1,35 @@
+// Package determinism is a lint fixture: a pretend traffic generator
+// with seeded wall-clock and global-RNG violations. Marked lines must
+// be reported; the lint:ignore'd read must not be.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter mixes allowed seeded randomness with forbidden wall-clock and
+// global-RNG reads.
+func Jitter(seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed)) // ok: seeded *rand.Rand
+	base := time.Duration(rng.Intn(1000)) * time.Millisecond
+
+	wall := time.Now()     // want determinism
+	if rand.Intn(2) == 0 { // want determinism
+		base += time.Since(time.Unix(0, 0)) // want determinism
+	}
+
+	//lint:ignore determinism fixture: proves suppression is honored
+	ignored := time.Now()
+	base += time.Until(wall.Add(time.Second)) // want determinism
+	_ = ignored
+	return base
+}
+
+// Shuffle uses the global RNG's Shuffle, which is forbidden, then the
+// seeded equivalent, which is not.
+func Shuffle(seed int64, xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want determinism
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,39 @@
+// Package errcheck is a lint fixture: dropped error returns that must
+// be flagged, allowlisted and error-free calls that must not, and a
+// suppressed exception.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error    { return errors.New("boom") }
+func pair() (int, error) { return 0, nil }
+func clean() int         { return 1 }
+func multi() (int, int)  { return 1, 2 }
+
+// Use exercises every statement shape the analyzer cares about.
+func Use() {
+	fallible()     // want errcheck
+	_ = fallible() // want errcheck
+	_, _ = pair()  // want errcheck
+
+	clean()                      // ok: no error result
+	fmt.Println("allowlisted")   // ok: fmt print family
+	fmt.Fprintln(os.Stderr, "x") // ok: fmt print family
+	var sb strings.Builder
+	sb.WriteString("allowlisted") // ok: documented nil error
+
+	if err := fallible(); err != nil { // ok: handled
+		fmt.Fprintln(os.Stderr, err)
+	}
+	v, _ := pair() // ok: value kept; only the error is blanked
+	_ = v
+	_, _ = multi() // ok: no error in the results
+
+	//lint:ignore errcheck fixture: proves suppression is honored
+	fallible()
+}

@@ -1,0 +1,28 @@
+// Package floateq is a lint fixture: float comparisons that must be
+// flagged, integer ones that must not, and a suppressed exception.
+package floateq
+
+// Celsius exercises named types whose underlying type is a float.
+type Celsius float64
+
+// Compare mixes flagged and clean comparisons.
+func Compare(a, b float64, c Celsius, f float32, n int) bool {
+	if a == b { // want floateq
+		return true
+	}
+	if f != float32(b) { // want floateq
+		return false
+	}
+	if c == 0 { // want floateq
+		return false
+	}
+	if a != 0.5 { // want floateq
+		return false
+	}
+
+	//lint:ignore floateq fixture: exact sentinel comparison is the point
+	if b == 0 {
+		return false
+	}
+	return n == 0 // ok: integers compare exactly
+}

@@ -1,0 +1,23 @@
+// Package ignore is a lint fixture for suppression semantics: analyzer
+// matching, comma lists, trailing-comment placement, and the rule that
+// a reason is mandatory.
+package ignore
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+// A exercises the directive matcher; the test asserts on (line,
+// analyzer) pairs directly instead of want markers.
+func A() {
+	//lint:ignore floateq wrong analyzer, does not cover errcheck
+	fail() // line 14: stays flagged
+
+	//lint:ignore errcheck,determinism comma list names errcheck
+	fail() // line 17: suppressed
+
+	fail() //lint:ignore errcheck trailing comment on the same line
+
+	//lint:ignore errcheck
+	fail() // line 22: stays flagged; the bare directive above is malformed
+}

@@ -1,0 +1,61 @@
+// Package lockguard is a lint fixture: a struct with two mutexes, each
+// with a `guards` comment, plus methods that honor and violate the
+// discipline.
+package lockguard
+
+import "sync"
+
+// Counter has two independently-locked regions, like the behaviotd
+// server struct.
+type Counter struct {
+	mu   sync.Mutex // guards n, last
+	n    int
+	last string
+
+	statsMu sync.RWMutex // guards hits
+	hits    int
+}
+
+// Inc locks the right mutex.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.last = "inc"
+}
+
+// Peek reads a guarded field with no lock at all.
+func (c *Counter) Peek() int {
+	return c.n // want lockguard
+}
+
+// WrongLock holds statsMu, which guards hits but not last.
+func (c *Counter) WrongLock(label string) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	c.hits++
+	c.last = label // want lockguard
+}
+
+// ReadHits takes the read side of the RWMutex, which counts as holding it.
+func (c *Counter) ReadHits() int {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	return c.hits
+}
+
+// peekLocked is exempt by the Locked-suffix convention: callers hold mu.
+func (c *Counter) peekLocked() int { return c.n }
+
+// Sloppy demonstrates a justified suppression.
+func (c *Counter) Sloppy() int {
+	//lint:ignore lockguard fixture: proves suppression is honored
+	return c.n
+}
+
+// Sum calls the exempt helper under the lock.
+func (c *Counter) Sum() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peekLocked() + len(c.last)
+}

@@ -184,6 +184,7 @@ func Extract(event string, training []*flows.Flow, cfg Config) (Signature, bool)
 		if cands[i].count != cands[j].count {
 			return cands[i].count > cands[j].count
 		}
+		//lint:ignore floateq sort tiebreaker: an epsilon here would break comparator transitivity
 		if cands[i].meanPos != cands[j].meanPos {
 			return cands[i].meanPos < cands[j].meanPos
 		}

@@ -107,6 +107,7 @@ func build(X [][]float64, y []int, idx []int, cfg treeConfig, rng *rand.Rand, de
 			leftCounts[c]++
 			rightCounts[c]--
 			// Can only split between distinct feature values.
+			//lint:ignore floateq adjacent sorted values: exact equality is what "distinct" means here, an epsilon would skip valid splits
 			if X[sortedIdx[i]][f] == X[sortedIdx[i+1]][f] {
 				continue
 			}

@@ -17,6 +17,30 @@ import (
 // ErrEmpty is returned by functions that cannot operate on empty input.
 var ErrEmpty = errors.New("stats: empty input")
 
+// Eps is the default tolerance for ApproxEqual: comfortably above
+// float64 rounding noise for the O(1)-magnitude probabilities and
+// z-scores this package works with, far below any meaningful
+// difference between them.
+const Eps = 1e-9
+
+// ApproxEqual reports whether a and b are equal within Eps, scaled by
+// the larger magnitude so the tolerance behaves relatively for large
+// values and absolutely near zero. This is the comparison behaviotlint's
+// floateq analyzer points to instead of ==.
+func ApproxEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= Eps*scale
+}
+
+// IsZero reports whether x is exactly zero. Use it for divide-by-zero
+// guards: only exact zero produces Inf/NaN, so an epsilon there would
+// silently reject valid small denominators.
+func IsZero(x float64) bool {
+	//lint:ignore floateq exact zero is the only value that divides to Inf/NaN
+	return x == 0
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -149,7 +173,7 @@ func Skewness(xs []float64) float64 {
 	}
 	m2 /= n
 	m3 /= n
-	if m2 == 0 {
+	if IsZero(m2) {
 		return 0
 	}
 	return m3 / math.Pow(m2, 1.5)
@@ -172,7 +196,7 @@ func Kurtosis(xs []float64) float64 {
 	}
 	m2 /= n
 	m4 /= n
-	if m2 == 0 {
+	if IsZero(m2) {
 		return 0
 	}
 	return m4/(m2*m2) - 3
@@ -181,7 +205,7 @@ func Kurtosis(xs []float64) float64 {
 // ZScore returns (x - mean) / stddev for the given population parameters.
 // A zero stddev yields 0 to keep deviation metrics bounded.
 func ZScore(x, mean, stddev float64) float64 {
-	if stddev == 0 {
+	if IsZero(stddev) {
 		return 0
 	}
 	return (x - mean) / stddev
@@ -200,8 +224,8 @@ func BinomialZ(p, p0 float64, n int) float64 {
 		return 0
 	}
 	denom := math.Sqrt(p0 * (1 - p0) / float64(n))
-	if denom == 0 {
-		if p == p0 {
+	if IsZero(denom) {
+		if ApproxEqual(p, p0) {
 			return 0
 		}
 		return math.Inf(sign(p - p0))
@@ -294,8 +318,9 @@ func (e *ECDF) At(x float64) float64 {
 		return 0
 	}
 	i := sort.SearchFloat64s(e.sorted, x)
-	// Advance past duplicates equal to x.
-	for i < len(e.sorted) && e.sorted[i] == x {
+	// Advance past duplicates equal to x (Search returns the first
+	// index >= x, so <= here means exactly ==).
+	for i < len(e.sorted) && e.sorted[i] <= x {
 		i++
 	}
 	return float64(i) / float64(len(e.sorted))
@@ -345,7 +370,7 @@ func Knee(xs, ys []float64) int {
 	x1, y1 := xs[n-1], ys[n-1]
 	dx, dy := x1-x0, y1-y0
 	norm := math.Hypot(dx, dy)
-	if norm == 0 {
+	if IsZero(norm) {
 		return 0
 	}
 	best, bestDist := 0, -1.0

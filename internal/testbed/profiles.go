@@ -90,7 +90,9 @@ func (d *DeviceProfile) Activity(name string) *ActivitySpec {
 func deviceSeed(parts ...string) uint64 {
 	h := fnv.New64a()
 	for _, p := range parts {
+		//lint:ignore errcheck hash.Hash.Write is documented to never return an error
 		h.Write([]byte(p))
+		//lint:ignore errcheck hash.Hash.Write is documented to never return an error
 		h.Write([]byte{0})
 	}
 	return h.Sum64()
