@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check clean
+.PHONY: all build test race vet lint fmt-check check clean \
+	bench bench-json experiments-quick experiments-expectations
+
+# Date stamp for benchmark artifacts (UTC, override with BENCH_DATE=).
+BENCH_DATE ?= $(shell date -u +%F)
 
 all: build
 
@@ -16,9 +20,11 @@ test:
 	$(GO) test ./...
 
 ## race: run the test suite under the race detector (includes the
-## dnsdb/behaviotd concurrency stress tests)
+## dnsdb/behaviotd concurrency stress tests and the parallel
+## dataset/experiment pipeline; the experiments replay is slow under
+## -race, hence the generous timeout)
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 ## vet: run go vet's standard checks
 vet:
@@ -34,6 +40,29 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+## bench: run every benchmark once (smoke: one iteration each, with
+## allocation stats)
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem ./...
+
+## bench-json: run the benchmark smoke pass and archive the results as
+## BENCH_<date>.json via cmd/benchjson
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem ./... | \
+		$(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
+
+## experiments-quick: regenerate every table and figure at reduced scale
+## with deterministic stdout (timings go to stderr; the recipe is
+## silenced so `make experiments-quick > out.txt` captures only the
+## tables, which is exactly what the CI diff job does)
+experiments-quick:
+	@$(GO) run ./cmd/experiments -run all -quick
+
+## experiments-expectations: refresh the checked-in reduced-scale
+## expectations that CI diffs against
+experiments-expectations:
+	$(GO) run ./cmd/experiments -run all -quick > internal/experiments/testdata/quick_expected.txt
 
 ## check: everything CI runs
 check: build vet fmt-check lint test race

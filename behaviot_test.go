@@ -17,9 +17,9 @@ func newTestMonitor(t testing.TB) (*Monitor, *testbed.Testbed, []*testbed.Device
 		tb.Device("Ring Camera"),
 		tb.Device("Gosund Bulb"),
 	}
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices, 0)
 	labeled := map[string][]*Flow{}
-	for _, s := range datasets.Activity(tb, 2, 10) {
+	for _, s := range datasets.Activity(tb, 2, 10, 0) {
 		for _, d := range devices {
 			if s.Device == d.Name {
 				labeled[s.Label] = append(labeled[s.Label], s.Flows...)
@@ -38,7 +38,7 @@ func TestFacadeTrainAndClassify(t *testing.T) {
 	if len(m.PeriodicModels()) == 0 {
 		t.Fatal("no periodic models")
 	}
-	day := datasets.Idle(tb, 9, datasets.DefaultStart.Add(3*24*time.Hour), 1, devices)
+	day := datasets.Idle(tb, 9, datasets.DefaultStart.Add(3*24*time.Hour), 1, devices, 0)
 	m.ResetTimers()
 	events := m.Classify(day)
 	if len(events) != len(day) {

@@ -11,6 +11,7 @@ package behaviot
 // the paper-vs-measured comparison is visible in bench output.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -300,6 +301,20 @@ func BenchmarkDiscoverActivities(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pipe.Periodic.Reset()
 		core.DiscoverActivities(pipe.Periodic, mixed, core.DiscoverConfig{})
+	}
+}
+
+// BenchmarkIdleGenerationWorkers measures parallel idle-dataset
+// generation at several worker counts; the flows are byte-identical at
+// every count, so the sub-benchmarks differ only in wall clock.
+func BenchmarkIdleGenerationWorkers(b *testing.B) {
+	tb := testbed.New()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				datasets.Idle(tb, 1, datasets.DefaultStart, 1, tb.Devices, w)
+			}
+		})
 	}
 }
 

@@ -210,9 +210,9 @@ func setupSimulator(srv *server, rate float64) func(*server) {
 		tb.Device("TPLink Plug"), tb.Device("Ring Camera"),
 		tb.Device("Gosund Bulb"), tb.Device("Echo Spot"),
 	}
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices, 0)
 	labeled := map[string][]*flows.Flow{}
-	for _, s := range datasets.Activity(tb, 2, 12) {
+	for _, s := range datasets.Activity(tb, 2, 12, 0) {
 		for _, d := range devices {
 			if s.Device == d.Name {
 				labeled[s.Label] = append(labeled[s.Label], s.Flows...)

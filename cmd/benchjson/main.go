@@ -1,0 +1,180 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report, so CI can archive benchmark results as a machine-readable
+// artifact and successive runs can be compared without scraping logs.
+// It uses only the standard library.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem ./... | benchjson -out BENCH_2026-08-06.json
+//	benchjson -in bench.txt            # writes BENCH_<today>.json
+//
+// Lines that are not benchmark results (test logs, PASS/ok trailers)
+// are ignored, so the full `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Procs       int     `json:"procs,omitempty"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "input file (default: stdin)")
+		out = flag.String("out", "", "output file (default: BENCH_<date>.json)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := Parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark results in input")
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //lint:ignore errcheck write error already being reported
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: %d benchmarks", path, len(report.Benchmarks))
+}
+
+// Parse scans `go test -bench` output and collects every benchmark
+// result line, together with the goos/goarch/cpu/pkg headers go test
+// prints before each package's results.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseResultLine(line); ok {
+				res.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseResultLine parses one benchmark result line, e.g.
+//
+//	BenchmarkClassifyDay-8  120  9876543 ns/op  12.3 MB/s  4096 B/op  17 allocs/op
+//
+// Lines starting with "Benchmark" that do not follow the result shape
+// (such as b.Log output) are rejected.
+func parseResultLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !hasUnit(fields, "ns/op") {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0]}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], procs
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Runs = runs
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			res.NsPerOp, seen = f, true
+		case "B/op":
+			res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "MB/s":
+			res.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		}
+	}
+	return res, seen
+}
+
+// hasUnit reports whether any field equals the unit (result lines may
+// carry extra measurements before ns/op in future go versions).
+func hasUnit(fields []string, unit string) bool {
+	for _, f := range fields {
+		if f == unit {
+			return true
+		}
+	}
+	return false
+}

@@ -22,18 +22,25 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiments: periodicity,table2,table3,table4,table5,table9,fig3,fig4a,fig4a5fold,fig4b,fig4c,deviationcases,fig5a,fig5b,headline,ablations")
-		quick = flag.Bool("quick", false, "use reduced-scale datasets")
-		days  = flag.Int("days", 87, "uncontrolled study length for fig5")
-		seed  = flag.Int64("seed", 2021, "generation seed")
+		run     = flag.String("run", "all", "comma-separated experiments: periodicity,table2,table3,table4,table5,table9,fig3,fig4a,fig4a5fold,fig4b,fig4c,deviationcases,fig5a,fig5b,headline,ablations")
+		quick   = flag.Bool("quick", false, "use reduced-scale datasets")
+		days    = flag.Int("days", 87, "uncontrolled study length for fig5")
+		seed    = flag.Int64("seed", 2021, "generation seed")
+		workers = flag.Int("workers", 0, "generation/evaluation worker count (0 = all cores); results are identical for every value")
 	)
 	flag.Parse()
 
 	scale := experiments.PaperScale()
 	if *quick {
 		scale = experiments.QuickScale()
+		// Reduced scale also trims the uncontrolled replay unless the
+		// caller asked for a specific window.
+		if !flagSet("days") {
+			*days = 16
+		}
 	}
 	scale.Seed = *seed
+	scale.Workers = *workers
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
@@ -62,10 +69,13 @@ func main() {
 		return lab
 	}
 
+	// Timings go to stderr so stdout is byte-identical across runs and
+	// machines — CI diffs it against checked-in expectations.
 	section := func(title string, run func() fmt.Stringer) {
 		start := time.Now()
 		body := run()
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", title, time.Since(start).Seconds(), body)
+		fmt.Fprintf(os.Stderr, "%s took %.1fs\n", title, time.Since(start).Seconds())
+		fmt.Printf("==== %s ====\n%s\n", title, body)
 	}
 	ran := 0
 
@@ -129,4 +139,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *run)
 		os.Exit(2)
 	}
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

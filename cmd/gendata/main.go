@@ -2,12 +2,17 @@
 // 49-device testbed and writes them as pcap files, one capture per
 // dataset, plus a devices.csv manifest mapping IPs to device names.
 //
+// Generation fans out across devices on a bounded worker pool; the
+// output bytes are identical for every -workers value because each
+// device derives its own sub-seeded generator and the per-device
+// streams are k-way merged in canonical packet order.
+//
 // Usage:
 //
 //	gendata -out ./data -dataset idle -days 5
 //	gendata -out ./data -dataset activity -reps 30
 //	gendata -out ./data -dataset routine -days 7
-//	gendata -out ./data -dataset uncontrolled -days 3
+//	gendata -out ./data -dataset uncontrolled -days 3 -workers 4
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"behaviot/internal/datasets"
 	"behaviot/internal/netparse"
+	"behaviot/internal/parallel"
 	"behaviot/internal/testbed"
 )
 
@@ -31,6 +37,7 @@ func main() {
 		days    = flag.Int("days", 2, "capture length in days (idle/routine/uncontrolled)")
 		reps    = flag.Int("reps", 30, "repetitions per activity (activity dataset)")
 		seed    = flag.Int64("seed", 2021, "generation seed")
+		workers = flag.Int("workers", 0, "generation worker count (0 = all cores); output is byte-identical for every value")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -46,37 +53,54 @@ func main() {
 	switch *dataset {
 	case "idle":
 		g := testbed.NewGenerator(tb, *seed)
-		var streams [][]*netparse.Packet
 		start := datasets.DefaultStart
 		end := start.Add(time.Duration(*days) * 24 * time.Hour)
-		for _, d := range tb.Devices {
-			streams = append(streams, g.BootstrapDNS(d, start.Add(-time.Minute)))
-			streams = append(streams, g.PeriodicWindow(d, start, end))
-		}
-		pkts := testbed.MergePackets(streams...)
-		writePcap(filepath.Join(*out, "idle.pcap"), pkts)
+		// One sorted stream per device, generated concurrently from the
+		// device's sub-seeded generator.
+		streams := parallel.Map(*workers, tb.Devices, func(_ int, d *testbed.DeviceProfile) []*netparse.Packet {
+			dg := g.ForDevice(d.Name)
+			return testbed.MergePackets(
+				dg.BootstrapDNS(d, start.Add(-time.Minute)),
+				dg.PeriodicWindow(d, start, end))
+		})
+		writePcapStreams(filepath.Join(*out, "idle.pcap"), *workers, streams)
 	case "activity":
 		g := testbed.NewGenerator(tb, *seed)
-		var streams [][]*netparse.Packet
+		// Lay out the global schedule first (cheap), then synthesize each
+		// slot on the worker pool.
+		type job struct {
+			dev  *testbed.DeviceProfile
+			act  *testbed.ActivitySpec
+			at   time.Time
+			rep  int
+			boot bool
+		}
+		var jobs []job
 		labelRows := []string{"time,device,activity,label"}
 		at := datasets.DefaultStart
 		for _, dev := range tb.ActivityDevices() {
-			streams = append(streams, g.BootstrapDNS(dev, at.Add(-30*time.Second)))
+			jobs = append(jobs, job{dev: dev, at: at.Add(-30 * time.Second), boot: true})
 			for ai := range dev.Activities {
 				act := &dev.Activities[ai]
 				for r := 0; r < *reps; r++ {
-					streams = append(streams, g.Activity(dev, act, at, r))
+					jobs = append(jobs, job{dev: dev, act: act, at: at, rep: r})
 					labelRows = append(labelRows, fmt.Sprintf("%s,%s,%s,%s:%s",
 						at.Format(time.RFC3339), dev.Name, act.Name, dev.Name, act.Name))
 					at = at.Add(2 * time.Minute)
 				}
 			}
 		}
-		pkts := testbed.MergePackets(streams...)
-		writePcap(filepath.Join(*out, "activity.pcap"), pkts)
+		streams := parallel.Map(*workers, jobs, func(_ int, j job) []*netparse.Packet {
+			dg := g.ForDevice(j.dev.Name)
+			if j.boot {
+				return testbed.MergePackets(dg.BootstrapDNS(j.dev, j.at))
+			}
+			return testbed.MergePackets(dg.Activity(j.dev, j.act, j.at, j.rep))
+		})
+		writePcapStreams(filepath.Join(*out, "activity.pcap"), *workers, streams)
 		writeLines(filepath.Join(*out, "activity_labels.csv"), labelRows)
 	case "routine":
-		ds := datasets.Routine(tb, *seed, datasets.DefaultStart, datasets.RoutineConfig{Days: *days})
+		ds := datasets.Routine(tb, *seed, datasets.DefaultStart, datasets.RoutineConfig{Days: *days, Workers: *workers})
 		// The routine dataset is produced as flows; regenerate its packet
 		// stream for the pcap by re-running generation (flows retain no
 		// payloads). For pcap export we re-synthesize the same windows.
@@ -96,14 +120,25 @@ func main() {
 		}
 		writeLines(filepath.Join(*out, "routine_groundtruth.csv"), gt)
 	case "uncontrolled":
-		cfg := datasets.UncontrolledConfig{Days: *days, Seed: *seed}
+		cfg := datasets.UncontrolledConfig{Days: *days, Seed: *seed, Workers: *workers}
 		incidents := datasets.DefaultIncidents(cfg)
-		rows := []string{"start,device,domain,proto,packets,bytes"}
-		for day := 0; day < *days; day++ {
+		// Each day is an independent function of (cfg, incidents, day);
+		// collect by day index so row order never depends on scheduling.
+		dayIdx := make([]int, *days)
+		for i := range dayIdx {
+			dayIdx[i] = i
+		}
+		perDay := parallel.Map(*workers, dayIdx, func(_ int, day int) []string {
+			var rows []string
 			for _, f := range datasets.UncontrolledDay(tb, cfg, incidents, day) {
 				rows = append(rows, fmt.Sprintf("%s,%s,%s,%s,%d,%d",
 					f.Start.Format(time.RFC3339Nano), f.Device, f.Domain, f.Proto, len(f.Packets), f.Bytes()))
 			}
+			return rows
+		})
+		rows := []string{"start,device,domain,proto,packets,bytes"}
+		for _, day := range perDay {
+			rows = append(rows, day...)
 		}
 		writeLines(filepath.Join(*out, "uncontrolled_flows.csv"), rows)
 	default:
@@ -111,27 +146,48 @@ func main() {
 	}
 }
 
-func writePcap(path string, pkts []*netparse.Packet) {
+// writePcapStreams merges the per-device streams into one capture. The
+// file is closed explicitly and the Close error checked: Flush only
+// drains the bufio layer, so a full disk can surface the loss at
+// Close — a deferred, unchecked Close would silently truncate the
+// capture.
+func writePcapStreams(path string, workers int, streams [][]*netparse.Packet) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := datasets.WritePcap(f, pkts); err != nil {
+	if err := datasets.WritePcapStreams(f, workers, streams); err != nil {
+		f.Close() //lint:ignore errcheck write error already being reported
 		log.Fatal(err)
 	}
-	info, _ := f.Stat()
-	log.Printf("wrote %s: %d packets, %d bytes", path, len(pkts), info.Size())
+	info, statErr := f.Stat()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	if statErr == nil {
+		log.Printf("wrote %s: %d packets, %d bytes", path, n, info.Size())
+	}
 }
 
+// writeLines writes one line per entry, checking both write and Close
+// errors so a short write cannot pass silently.
 func writeLines(path string, lines []string) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 	for _, l := range lines {
-		fmt.Fprintln(f, l)
+		if _, err := fmt.Fprintln(f, l); err != nil {
+			f.Close() //lint:ignore errcheck write error already being reported
+			log.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 	log.Printf("wrote %s: %d rows", path, len(lines)-1)
 }
@@ -141,12 +197,11 @@ func writeManifest(tb *testbed.Testbed, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	fmt.Fprintln(f, "ip,device,vendor,category")
 	devs := append([]*testbed.DeviceProfile(nil), tb.Devices...)
 	sort.Slice(devs, func(i, j int) bool { return devs[i].Name < devs[j].Name })
 	for _, d := range devs {
 		fmt.Fprintf(f, "%s,%s,%s,%s\n", d.IP, d.Name, d.Vendor, d.Category)
 	}
-	return nil
+	return f.Close()
 }

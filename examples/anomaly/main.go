@@ -35,9 +35,9 @@ func main() {
 	// Train device models on controlled data and the system model on a
 	// routine week.
 	log.Println("training behavior models...")
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices, 0)
 	labeled := map[string][]*behaviot.Flow{}
-	for _, s := range datasets.Activity(tb, 2, 15) {
+	for _, s := range datasets.Activity(tb, 2, 15, 0) {
 		if names[s.Device] {
 			labeled[s.Label] = append(labeled[s.Label], s.Flows...)
 		}

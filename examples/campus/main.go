@@ -30,13 +30,13 @@ func main() {
 
 	// Train on controlled data.
 	log.Println("\ntraining device models...")
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices, 0)
 	names := map[string]bool{}
 	for _, d := range devices {
 		names[d.Name] = true
 	}
 	labeled := map[string][]*behaviot.Flow{}
-	for _, s := range datasets.Activity(tb, 2, 15) {
+	for _, s := range datasets.Activity(tb, 2, 15, 0) {
 		if names[s.Device] {
 			labeled[s.Label] = append(labeled[s.Label], s.Flows...)
 		}

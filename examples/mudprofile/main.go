@@ -27,10 +27,10 @@ func main() {
 	devices := []*testbed.DeviceProfile{target}
 
 	log.Printf("learning behavior models for %s...", target.Name)
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices, 0)
 	labeled := map[string][]*behaviot.Flow{}
 	var userFlows []*behaviot.Flow
-	for _, s := range datasets.Activity(tb, 2, 15) {
+	for _, s := range datasets.Activity(tb, 2, 15, 0) {
 		if s.Device == target.Name {
 			labeled[s.Label] = append(labeled[s.Label], s.Flows...)
 			userFlows = append(userFlows, s.Flows...)
@@ -56,7 +56,7 @@ func main() {
 
 	// Compliance check: a fresh day of normal traffic should comply; a
 	// flow to an unknown tracker (simulating rogue firmware) should not.
-	day := datasets.Idle(tb, 9, datasets.DefaultStart.Add(5*24*time.Hour), 1, devices)
+	day := datasets.Idle(tb, 9, datasets.DefaultStart.Add(5*24*time.Hour), 1, devices, 0)
 	rogue := *day[0]
 	rogue.Domain = "exfil.shady-tracker.example"
 	day = append(day, &rogue)

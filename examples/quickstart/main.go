@@ -35,9 +35,9 @@ func main() {
 	// 1. Collect an idle capture (no user interactions) and a labeled
 	//    activity capture — the paper's controlled experiments.
 	log.Println("generating controlled datasets...")
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devices, 0)
 	var labeled = map[string][]*behaviot.Flow{}
-	for _, s := range datasets.Activity(tb, 2, 15) {
+	for _, s := range datasets.Activity(tb, 2, 15, 0) {
 		for _, d := range devices {
 			if s.Device == d.Name {
 				labeled[s.Label] = append(labeled[s.Label], s.Flows...)
@@ -65,7 +65,7 @@ func main() {
 	}
 
 	// 4. Classify a fresh day of traffic.
-	day := datasets.Idle(tb, 42, datasets.DefaultStart.Add(10*24*time.Hour), 1, devices)
+	day := datasets.Idle(tb, 42, datasets.DefaultStart.Add(10*24*time.Hour), 1, devices, 0)
 	// Sprinkle in two user actions.
 	g := testbed.NewGenerator(tb, 7)
 	plug := tb.Device("TPLink Plug")

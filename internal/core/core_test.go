@@ -37,10 +37,10 @@ func getFixture(t *testing.T) *testFixture {
 		tb.Device("Gosund Bulb"), tb.Device("Ring Camera"),
 		tb.Device("Echo Spot"),
 	}
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devs)
-	testIdle := datasets.Idle(tb, 99, datasets.DefaultStart.Add(5*24*time.Hour), 1, devs)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 2, devs, 0)
+	testIdle := datasets.Idle(tb, 99, datasets.DefaultStart.Add(5*24*time.Hour), 1, devs, 0)
 
-	samples := filterSamples(datasets.Activity(tb, 2, 20), devs)
+	samples := filterSamples(datasets.Activity(tb, 2, 20, 0), devs)
 	labeled := datasets.LabeledFlows(samples)
 
 	cfg := DefaultConfig()
@@ -49,7 +49,7 @@ func getFixture(t *testing.T) *testFixture {
 		t.Fatal(err)
 	}
 	routine := datasets.Routine(tb, 3, datasets.DefaultStart.Add(10*24*time.Hour),
-		datasets.RoutineConfig{Days: 2, RunsPerDay: 20, DirectPerDay: 4})
+		datasets.RoutineConfig{Days: 3, RunsPerDay: 30, DirectPerDay: 4})
 	events := pipe.Classify(routine.Flows)
 	traces := pipe.TrainSystem(events, pfsm.Options{})
 	pipe.Calibrate(traces)
@@ -136,7 +136,7 @@ func TestUserEventAccuracy(t *testing.T) {
 		tb.Device("Gosund Bulb"), tb.Device("Ring Camera"),
 		tb.Device("Echo Spot"),
 	}
-	heldOut := filterSamples(datasets.Activity(tb, 77, 4), devs)
+	heldOut := filterSamples(datasets.Activity(tb, 77, 4, 0), devs)
 	correct, total := 0, 0
 	for _, s := range heldOut {
 		// The sample's main activity flow is the largest TCP flow.

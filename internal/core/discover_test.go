@@ -17,14 +17,14 @@ func TestDiscoverActivitiesUnsupervised(t *testing.T) {
 	dev := tb.Device("TPLink Plug")
 	devices := []*testbed.DeviceProfile{dev}
 
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices, 0)
 	models, _ := InferPeriodicModels(idle, DefaultPeriodicConfig())
 	pc := NewPeriodicClassifier(models, DefaultPeriodicConfig())
 
 	// Unlabeled mixed capture: background plus repeated on/off actions.
 	g := testbed.NewGenerator(tb, 44)
 	start := datasets.DefaultStart.Add(3 * 24 * time.Hour)
-	day := datasets.Idle(tb, 9, start, 1, devices)
+	day := datasets.Idle(tb, 9, start, 1, devices, 0)
 	mixed := append([]*flows.Flow(nil), day...)
 	onAct, offAct := dev.Activity("on"), dev.Activity("off")
 	for i := 0; i < 12; i++ {
@@ -87,7 +87,7 @@ func TestDiscoverActivitiesEmptyResidual(t *testing.T) {
 	tb := testbed.New()
 	dev := tb.Device("TPLink Plug")
 	devices := []*testbed.DeviceProfile{dev}
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices, 0)
 	models, _ := InferPeriodicModels(idle, DefaultPeriodicConfig())
 	pc := NewPeriodicClassifier(models, DefaultPeriodicConfig())
 	pc.Reset()

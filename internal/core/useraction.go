@@ -73,25 +73,30 @@ func TrainUserActionModels(labeled map[string][]*flows.Flow, background []*flows
 		cfg.Threshold = 0.5
 	}
 	// Group labels by device and fit the normalizer on everything.
+	// Iterate labels in sorted order, not map order: the order of `all`
+	// feeds the normalizer's mean/variance summation, and float rounding
+	// must not depend on the per-process map hash seed.
 	var all [][]float64
 	type labeledVecs struct {
 		label string
 		vecs  [][]float64
 	}
 	perDevice := map[string][]labeledVecs{}
-	var labels []string
-	for label, fs := range labeled {
+	labels := make([]string, 0, len(labeled))
+	for label := range labeled {
 		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
 		device := deviceOfLabel(label)
 		var vecs [][]float64
-		for _, f := range fs {
+		for _, f := range labeled[label] {
 			v := features.Extract(f)
 			all = append(all, v)
 			vecs = append(vecs, v)
 		}
 		perDevice[device] = append(perDevice[device], labeledVecs{label: label, vecs: vecs})
 	}
-	sort.Strings(labels)
 
 	// Background flows per device. Sampling is group-stratified with the
 	// per-group extremes (largest burst, most packets) always included:
@@ -101,9 +106,17 @@ func TrainUserActionModels(labeled map[string][]*flows.Flow, background []*flows
 	for _, f := range background {
 		bgFlowsByDevice[f.Device] = append(bgFlowsByDevice[f.Device], f)
 	}
+	// Sorted device order again: bgGlobal's order decides which samples
+	// devices without their own background borrow via subsample.
 	bgByDevice := map[string][][]float64{}
 	var bgGlobal [][]float64
-	for device, fs := range bgFlowsByDevice {
+	bgDevices := make([]string, 0, len(bgFlowsByDevice))
+	for d := range bgFlowsByDevice {
+		bgDevices = append(bgDevices, d)
+	}
+	sort.Strings(bgDevices)
+	for _, device := range bgDevices {
+		fs := bgFlowsByDevice[device]
 		for _, f := range sampleBackground(fs, cfg.MaxBackground) {
 			v := features.Extract(f)
 			all = append(all, v)

@@ -13,14 +13,25 @@
 package datasets
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"time"
 
 	"behaviot/internal/flows"
 	"behaviot/internal/netparse"
+	"behaviot/internal/parallel"
 	"behaviot/internal/testbed"
 )
+
+// Generation is sharded per device (and, for the routine dataset, per
+// day): every shard draws from a sub-generator derived via
+// testbed.SubSeed, so its output is a pure function of (seed, shard ID)
+// and shards can be generated on any number of workers in any order.
+// Shard streams are combined with testbed.MergePackets, whose canonical
+// total order makes the merged capture independent of completion order;
+// the workers parameter therefore never changes output bytes, a property
+// the determinism regressions assert for workers=1 vs workers=8.
 
 // DefaultStart anchors the controlled datasets at the paper's collection
 // period (August 2021).
@@ -59,19 +70,32 @@ func Assemble(tb *testbed.Testbed, pkts []*netparse.Packet) []*flows.Flow {
 	return a.Flows()
 }
 
+// backgroundStream synthesizes one device's DNS bootstrap plus periodic
+// window from a sub-generator derived for that device.
+func backgroundStream(g *testbed.Generator, d *testbed.DeviceProfile, bootstrapAt time.Time, from, to time.Time) []*netparse.Packet {
+	dg := g.ForDevice(d.Name)
+	return append(dg.BootstrapDNS(d, bootstrapAt), dg.PeriodicWindow(d, from, to)...)
+}
+
+// backgroundStreams fans per-device background generation out across
+// workers; the returned streams are indexed by device, independent of
+// scheduling.
+func backgroundStreams(g *testbed.Generator, devices []*testbed.DeviceProfile, bootstrapAt time.Time, from, to time.Time, workers int) [][]*netparse.Packet {
+	return parallel.Map(workers, devices, func(_ int, d *testbed.DeviceProfile) []*netparse.Packet {
+		return backgroundStream(g, d, bootstrapAt, from, to)
+	})
+}
+
 // Idle generates the idle dataset: days of background-only traffic for the
-// given devices (all 49 when devices is nil), starting at start.
-func Idle(tb *testbed.Testbed, seed int64, start time.Time, days int, devices []*testbed.DeviceProfile) []*flows.Flow {
+// given devices (all 49 when devices is nil), starting at start. Device
+// streams are generated on up to workers goroutines (0 = all cores).
+func Idle(tb *testbed.Testbed, seed int64, start time.Time, days int, devices []*testbed.DeviceProfile, workers int) []*flows.Flow {
 	if devices == nil {
 		devices = tb.Devices
 	}
 	g := testbed.NewGenerator(tb, seed)
 	end := start.Add(time.Duration(days) * 24 * time.Hour)
-	var streams [][]*netparse.Packet
-	for _, d := range devices {
-		streams = append(streams, g.BootstrapDNS(d, start.Add(-time.Minute)))
-		streams = append(streams, g.PeriodicWindow(d, start, end))
-	}
+	streams := backgroundStreams(g, devices, start.Add(-time.Minute), start, end, workers)
 	return Assemble(tb, testbed.MergePackets(streams...))
 }
 
@@ -87,21 +111,36 @@ type ActivitySample struct {
 // Activity generates the activity dataset: reps labeled repetitions of
 // every activity on every activity-capable device. Each repetition is
 // captured in isolation (as in the paper's controlled experiments) so the
-// resulting flows carry exact ground truth.
-func Activity(tb *testbed.Testbed, seed int64, reps int) []ActivitySample {
+// resulting flows carry exact ground truth. Devices are sharded across
+// workers; each device's repetitions keep their slot in the global
+// 2-minute schedule, so sample order and timestamps are identical for
+// any worker count.
+func Activity(tb *testbed.Testbed, seed int64, reps int, workers int) []ActivitySample {
 	g := testbed.NewGenerator(tb, seed)
-	var out []ActivitySample
-	at := DefaultStart
-	for _, dev := range tb.ActivityDevices() {
+	devices := tb.ActivityDevices()
+	// Prefix-sum the per-device sample counts so each shard knows its
+	// first slot in the global schedule without seeing other shards.
+	base := make([]int, len(devices))
+	total := 0
+	for i, dev := range devices {
+		base[i] = total
+		total += len(dev.Activities) * reps
+	}
+	perDevice := parallel.Map(workers, devices, func(di int, dev *testbed.DeviceProfile) []ActivitySample {
+		dg := g.ForDevice(dev.Name)
+		out := make([]ActivitySample, 0, len(dev.Activities)*reps)
+		slot := base[di]
 		for ai := range dev.Activities {
 			act := &dev.Activities[ai]
 			for r := 0; r < reps; r++ {
+				at := DefaultStart.Add(time.Duration(slot) * 2 * time.Minute)
+				slot++
 				a := NewAssembler(tb)
-				for _, p := range g.BootstrapDNS(dev, at.Add(-30*time.Second)) {
+				for _, p := range dg.BootstrapDNS(dev, at.Add(-30*time.Second)) {
 					a.Add(p)
 				}
 				a.Flows() // drain DNS bootstrap flows
-				for _, p := range g.Activity(dev, act, at, r) {
+				for _, p := range dg.Activity(dev, act, at, r) {
 					a.Add(p)
 				}
 				fs := a.Flows()
@@ -112,9 +151,13 @@ func Activity(tb *testbed.Testbed, seed int64, reps int) []ActivitySample {
 					Time:     at,
 					Flows:    fs,
 				})
-				at = at.Add(2 * time.Minute)
 			}
 		}
+		return out
+	})
+	out := make([]ActivitySample, 0, total)
+	for _, samples := range perDevice {
+		out = append(out, samples...)
 	}
 	return out
 }
@@ -162,6 +205,9 @@ type RoutineConfig struct {
 	// IncludeBackground adds the routine devices' periodic traffic
 	// (default true via !OmitBackground).
 	OmitBackground bool
+	// Workers bounds generation concurrency (0 = all cores). Output is
+	// byte-identical for every value.
+	Workers int
 }
 
 func (c RoutineConfig) withDefaults() RoutineConfig {
@@ -179,54 +225,70 @@ func (c RoutineConfig) withDefaults() RoutineConfig {
 	return c
 }
 
+// routineDay is one sharded day of routine generation: the executions
+// scheduled for the day and their packet streams.
+type routineDay struct {
+	executions []Execution
+	streams    [][]*netparse.Packet
+}
+
 // Routine generates the routine dataset: automations R1–R16 executed at
 // scheduled times over the routine devices' idle background, plus direct
-// interactions.
+// interactions. Days (and background devices) are sharded across
+// workers; each day schedules from its own sub-RNG derived via
+// testbed.SubSeed, so the dataset is identical for any worker count.
 func Routine(tb *testbed.Testbed, seed int64, start time.Time, cfg RoutineConfig) *RoutineDataset {
 	cfg = cfg.withDefaults()
 	g := testbed.NewGenerator(tb, seed)
-	rng := rand.New(rand.NewSource(seed ^ 0x5EED))
 	end := start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
 
-	var streams [][]*netparse.Packet
 	devices := tb.RoutineDevices()
-	if !cfg.OmitBackground {
-		for _, d := range devices {
-			streams = append(streams, g.BootstrapDNS(d, start.Add(-time.Minute)))
-			streams = append(streams, g.PeriodicWindow(d, start, end))
-		}
-	} else {
-		for _, d := range devices {
-			streams = append(streams, g.BootstrapDNS(d, start.Add(-time.Minute)))
-		}
+	bgEnd := end
+	if cfg.OmitBackground {
+		bgEnd = start // bootstrap only
 	}
+	streams := backgroundStreams(g, devices, start.Add(-time.Minute), start, bgEnd, cfg.Workers)
 
 	ds := &RoutineDataset{Start: start, End: end}
-	rep := 0
-	for day := 0; day < cfg.Days; day++ {
+	days := make([]int, cfg.Days)
+	for i := range days {
+		days[i] = i
+	}
+	perDay := parallel.Map(cfg.Workers, days, func(_ int, day int) routineDay {
+		rng := rand.New(rand.NewSource(testbed.SubSeed(seed, "routine-day", fmt.Sprint(day))))
 		dayStart := start.Add(time.Duration(day) * 24 * time.Hour)
+		// Repetition indices only need to be unique per (device,
+		// activity) pair to decorrelate payload jitter; a fixed per-day
+		// base keeps them shard-local.
+		rep := day * (cfg.RunsPerDay + cfg.DirectPerDay)
+		var rd routineDay
 		times := spacedTimes(rng, dayStart, 24*time.Hour, cfg.RunsPerDay+cfg.DirectPerDay, 3*time.Minute)
 		for i, at := range times {
 			if i < cfg.RunsPerDay {
 				auto := &testbed.Automations[rng.Intn(len(testbed.Automations))]
 				exec, pkts := runAutomation(tb, g, auto, at, rep)
 				rep++
-				ds.Executions = append(ds.Executions, exec)
-				streams = append(streams, pkts)
+				rd.executions = append(rd.executions, exec)
+				rd.streams = append(rd.streams, pkts)
 			} else {
 				dev := devices[rng.Intn(len(devices))]
 				act := &dev.Activities[rng.Intn(len(dev.Activities))]
 				pkts := g.Activity(dev, act, at, rep)
 				rep++
-				ds.Executions = append(ds.Executions, Execution{
+				rd.executions = append(rd.executions, Execution{
 					Steps: []ExecutedStep{{
 						Device: dev.Name, Activity: act.Name,
 						Label: dev.Name + ":" + act.Name, Time: at,
 					}},
 				})
-				streams = append(streams, pkts)
+				rd.streams = append(rd.streams, pkts)
 			}
 		}
+		return rd
+	})
+	for _, rd := range perDay {
+		ds.Executions = append(ds.Executions, rd.executions...)
+		streams = append(streams, rd.streams...)
 	}
 	ds.Flows = Assemble(tb, testbed.MergePackets(streams...))
 	return ds

@@ -12,7 +12,7 @@ import (
 func TestIdleDataset(t *testing.T) {
 	tb := testbed.New()
 	dev := tb.Device("TPLink Plug")
-	fs := Idle(tb, 1, DefaultStart, 1, []*testbed.DeviceProfile{dev})
+	fs := Idle(tb, 1, DefaultStart, 1, []*testbed.DeviceProfile{dev}, 0)
 	if len(fs) == 0 {
 		t.Fatal("no flows")
 	}
@@ -45,8 +45,8 @@ func TestIdleDataset(t *testing.T) {
 func TestIdleDeterministic(t *testing.T) {
 	tb := testbed.New()
 	dev := tb.Device("Wemo Plug")
-	a := Idle(tb, 7, DefaultStart, 1, []*testbed.DeviceProfile{dev})
-	b := Idle(tb, 7, DefaultStart, 1, []*testbed.DeviceProfile{dev})
+	a := Idle(tb, 7, DefaultStart, 1, []*testbed.DeviceProfile{dev}, 0)
+	b := Idle(tb, 7, DefaultStart, 1, []*testbed.DeviceProfile{dev}, 0)
 	if len(a) != len(b) {
 		t.Fatalf("flow counts differ: %d vs %d", len(a), len(b))
 	}
@@ -59,7 +59,7 @@ func TestIdleDeterministic(t *testing.T) {
 
 func TestActivityDatasetGroundTruth(t *testing.T) {
 	tb := testbed.New()
-	samples := Activity(tb, 1, 3)
+	samples := Activity(tb, 1, 3, 0)
 	if len(samples) == 0 {
 		t.Fatal("no samples")
 	}
@@ -300,7 +300,7 @@ func BenchmarkIdleDayOneDevice(b *testing.B) {
 	dev := tb.Device("Echo Show5")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Idle(tb, 1, DefaultStart, 1, []*testbed.DeviceProfile{dev})
+		Idle(tb, 1, DefaultStart, 1, []*testbed.DeviceProfile{dev}, 0)
 	}
 }
 

@@ -105,8 +105,8 @@ func flowBytes(fs []*flows.Flow) []byte {
 func TestIdleFlowsByteIdentical(t *testing.T) {
 	tb := testbed.New()
 	devs := tb.Devices[:5]
-	a := flowBytes(Idle(tb, 11, DefaultStart, 1, devs))
-	b := flowBytes(Idle(testbed.New(), 11, DefaultStart, 1, devs))
+	a := flowBytes(Idle(tb, 11, DefaultStart, 1, devs, 0))
+	b := flowBytes(Idle(testbed.New(), 11, DefaultStart, 1, devs, 0))
 	if len(a) == 0 {
 		t.Fatal("idle generator produced no flows")
 	}

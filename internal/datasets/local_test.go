@@ -9,7 +9,7 @@ import (
 func TestLocalHubTrafficFlows(t *testing.T) {
 	tb := testbed.New()
 	devs := []*testbed.DeviceProfile{tb.Device("Philips Bulb"), tb.Device("Philips Hub")}
-	fs := Idle(tb, 1, DefaultStart, 1, devs)
+	fs := Idle(tb, 1, DefaultStart, 1, devs, 0)
 	localFlows := 0
 	for _, f := range fs {
 		if f.Device == "Philips Bulb" && f.Domain == "philips-hub.local" {

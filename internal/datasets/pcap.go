@@ -6,20 +6,16 @@ import (
 	"io"
 
 	"behaviot/internal/netparse"
+	"behaviot/internal/parallel"
 	"behaviot/internal/pcapio"
 )
 
-// WritePcap serializes a packet stream to a pcap file, encoding each
-// packet to real Ethernet/IP/transport wire format. Synthesized packets
-// whose WireLen exceeds their header+payload size are padded so the
-// on-the-wire length (and therefore the pipeline's size features)
-// round-trips exactly.
-func WritePcap(w io.Writer, pkts []*netparse.Packet) error {
-	// Nanosecond resolution preserves synthesized timestamps exactly.
-	pw, err := pcapio.NewNanoWriter(w)
-	if err != nil {
-		return err
-	}
+// EncodePackets encodes a packet stream to wire-format pcap records,
+// preserving stream order. Synthesized packets whose WireLen exceeds
+// their header+payload size are padded so the on-the-wire length (and
+// therefore the pipeline's size features) round-trips exactly.
+func EncodePackets(pkts []*netparse.Packet) ([]pcapio.Record, error) {
+	out := make([]pcapio.Record, len(pkts))
 	for i, p := range pkts {
 		cp := *p
 		want := p.WireLen
@@ -36,11 +32,55 @@ func WritePcap(w io.Writer, pkts []*netparse.Packet) error {
 		}
 		wire, err := netparse.Encode(&cp)
 		if err != nil {
+			return nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		out[i] = pcapio.Record{Time: p.Timestamp, Data: wire}
+	}
+	return out, nil
+}
+
+// WritePcap serializes a packet stream to a pcap file, encoding each
+// packet to real Ethernet/IP/transport wire format.
+func WritePcap(w io.Writer, pkts []*netparse.Packet) error {
+	// Nanosecond resolution preserves synthesized timestamps exactly.
+	pw, err := pcapio.NewNanoWriter(w)
+	if err != nil {
+		return err
+	}
+	recs, err := EncodePackets(pkts)
+	if err != nil {
+		return err
+	}
+	for i, r := range recs {
+		if err := pw.WritePacket(r.Time, r.Data); err != nil {
 			return fmt.Errorf("packet %d: %w", i, err)
 		}
-		if err := pw.WritePacket(p.Timestamp, wire); err != nil {
-			return fmt.Errorf("packet %d: %w", i, err)
-		}
+	}
+	return pw.Flush()
+}
+
+// WritePcapStreams serializes per-device packet streams to one pcap
+// file: each stream is encoded to wire format on the worker pool, then
+// the encoded records are k-way merged into the writer, cross-stream
+// ties broken by wire bytes. The output is byte-identical for any
+// worker count; callers must pass each stream time-sorted (as every
+// generator emits them).
+func WritePcapStreams(w io.Writer, workers int, streams [][]*netparse.Packet) error {
+	pw, err := pcapio.NewNanoWriter(w)
+	if err != nil {
+		return err
+	}
+	var firstErr parallel.FirstError
+	encoded := parallel.Map(workers, streams, func(i int, pkts []*netparse.Packet) []pcapio.Record {
+		recs, err := EncodePackets(pkts)
+		firstErr.Report(i, err)
+		return recs
+	})
+	if err := firstErr.Err(); err != nil {
+		return err
+	}
+	if err := pw.WriteMerged(encoded...); err != nil {
+		return err
 	}
 	return pw.Flush()
 }

@@ -54,6 +54,9 @@ type UncontrolledConfig struct {
 	InteractionsPerDay int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds generation concurrency (0 = all cores). Output is
+	// byte-identical for every value.
+	Workers int
 }
 
 func (c UncontrolledConfig) withDefaults() UncontrolledConfig {
@@ -139,14 +142,13 @@ func UncontrolledDay(tb *testbed.Testbed, cfg UncontrolledConfig, incidents []In
 		}
 	}
 
-	var streams [][]*netparse.Packet
+	online := make([]*testbed.DeviceProfile, 0, len(tb.Devices))
 	for _, d := range tb.Devices {
-		if offline[d.Name] {
-			continue
+		if !offline[d.Name] {
+			online = append(online, d)
 		}
-		streams = append(streams, g.BootstrapDNS(d, dayStart.Add(-time.Minute)))
-		streams = append(streams, g.PeriodicWindow(d, dayStart, dayEnd))
 	}
+	streams := backgroundStreams(g, online, dayStart.Add(-time.Minute), dayStart, dayEnd, cfg.Workers)
 
 	// Participant interactions: routine executions and direct actions.
 	devices := tb.RoutineDevices()

@@ -9,7 +9,7 @@ import (
 	"math"
 	"math/cmplx"
 
-	"behaviot/internal/stats"
+	"behaviot/internal/floatcmp"
 )
 
 // FFT computes the discrete Fourier transform of x. The input length need
@@ -180,7 +180,7 @@ func Autocorrelation(x []float64, maxLag int) []float64 {
 		denom += centered[i] * centered[i]
 	}
 	out := make([]float64, maxLag+1)
-	if stats.IsZero(denom) {
+	if floatcmp.IsZero(denom) {
 		return out
 	}
 	// Use the FFT to compute all lags in O(n log n): autocorrelation is the

@@ -4,7 +4,7 @@ import (
 	"math"
 	"sort"
 
-	"behaviot/internal/stats"
+	"behaviot/internal/floatcmp"
 )
 
 // PeriodResult describes one detected period in a point process.
@@ -278,7 +278,7 @@ func acfAtLag(x []float64, lag int) float64 {
 			num += d * (x[i+lag] - mean)
 		}
 	}
-	if stats.IsZero(denom) {
+	if floatcmp.IsZero(denom) {
 		return 0
 	}
 	return num / denom

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"behaviot/internal/core"
 	"behaviot/internal/datasets"
+	"behaviot/internal/parallel"
 	"behaviot/internal/pfsm"
 )
 
@@ -34,23 +36,27 @@ func Ablations(l *Lab) *AblationResult {
 	pipe := l.Pipeline()
 
 	// --- Periodic classification strategies ---
-	strategies := []struct {
+	type strategy struct {
 		name           string
 		disableTimer   bool
 		disableCluster bool
 		out            *float64
-	}{
+	}
+	strategies := []strategy{
 		{"timer-only", false, true, &res.TimerOnly},
 		{"cluster-only", true, false, &res.ClusterOnly},
 		{"hybrid", false, false, &res.Hybrid},
 	}
+	// Each strategy owns a fresh classifier instance, so the three arms
+	// evaluate concurrently over the shared read-only idle-test slice.
 	models := pipe.Periodic.Models()
-	for _, s := range strategies {
+	idleTest := l.IdleTest()
+	accs := parallel.Map(l.Scale.Workers, strategies, func(_ int, s strategy) float64 {
 		pc := core.NewPeriodicClassifier(models, core.DefaultPeriodicConfig())
 		pc.DisableTimer = s.disableTimer
 		pc.DisableCluster = s.disableCluster
 		hit, tot := 0, 0
-		for _, f := range l.IdleTest() {
+		for _, f := range idleTest {
 			if _, ok := models[f.Key()]; !ok {
 				continue
 			}
@@ -59,9 +65,13 @@ func Ablations(l *Lab) *AblationResult {
 				hit++
 			}
 		}
-		if tot > 0 {
-			*s.out = float64(hit) / float64(tot)
+		if tot == 0 {
+			return 0
 		}
+		return float64(hit) / float64(tot)
+	})
+	for i, s := range strategies {
+		*s.out = accs[i]
 	}
 
 	// --- Binary vs multiclass user-action models ---
@@ -90,13 +100,20 @@ func Ablations(l *Lab) *AblationResult {
 		}
 		return float64(ok) / float64(tot)
 	}
-	res.Binary = evalUA(false)
-	res.Multiclass = evalUA(true)
+	// The two user-action trainings share only read-only inputs, so they
+	// run concurrently, as do the two PFSM inferences below.
+	uaAccs := parallel.Map(l.Scale.Workers, []bool{false, true}, func(_ int, multiclass bool) float64 {
+		return evalUA(multiclass)
+	})
+	res.Binary, res.Multiclass = uaAccs[0], uaAccs[1]
 
 	// --- PFSM refinement ---
 	traces := l.Traces()
-	refined := pfsm.Infer(traces, pfsm.Options{})
-	unrefined := pfsm.Infer(traces, pfsm.Options{DisableRefinement: true})
+	machines := parallel.Map(l.Scale.Workers, []pfsm.Options{{}, {DisableRefinement: true}},
+		func(_ int, opts pfsm.Options) *pfsm.Model {
+			return pfsm.Infer(traces, opts)
+		})
+	refined, unrefined := machines[0], machines[1]
 	res.RefinedStates = refined.NumStates()
 	res.UnrefinedStates = unrefined.NumStates()
 	invalid := datasets.InjectKnownEvents(traces, 2, 5)
@@ -131,8 +148,13 @@ func (r *AblationResult) String() string {
 	fmt.Fprintf(&b, "PFSM states:              refined %d  unrefined %d\n", r.RefinedStates, r.UnrefinedStates)
 	fmt.Fprintf(&b, "invalid-trace rejects:    refined %d/%d  unrefined %d/%d\n",
 		r.RefinedRejects, r.InvalidTraces, r.UnrefinedRejects, r.InvalidTraces)
-	for gap, n := range r.TraceGapCounts {
-		fmt.Fprintf(&b, "trace gap %-6v → %d traces\n", gap, n)
+	gaps := make([]time.Duration, 0, len(r.TraceGapCounts))
+	for gap := range r.TraceGapCounts {
+		gaps = append(gaps, gap)
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	for _, gap := range gaps {
+		fmt.Fprintf(&b, "trace gap %-6v → %d traces\n", gap, r.TraceGapCounts[gap])
 	}
 	return b.String()
 }

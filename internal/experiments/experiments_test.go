@@ -18,17 +18,6 @@ func getLab(t *testing.T) *Lab {
 	return quickLab
 }
 
-// skipIfRace skips full-dataset replay tests under the race detector:
-// they run a single goroutine (nothing for the detector to observe),
-// slow down more than 10x, and push the test binary past its timeout.
-// The non-race `make test` run keeps full coverage of them.
-func skipIfRace(t *testing.T) {
-	t.Helper()
-	if raceEnabled {
-		t.Skip("single-goroutine dataset replay; too slow under -race")
-	}
-}
-
 func TestPeriodicityExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("synthetic sweep")
@@ -49,7 +38,6 @@ func TestPeriodicityExperiment(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	skipIfRace(t)
 	l := getLab(t)
 	r := Table2(l)
 	if len(r.Rows) == 0 {
@@ -170,7 +158,6 @@ func TestFig4aOverlap(t *testing.T) {
 }
 
 func TestFig4aKFoldOverlap(t *testing.T) {
-	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("5-fold retraining")
 	}
@@ -218,7 +205,6 @@ func TestDeviationCasesAllDetected(t *testing.T) {
 }
 
 func TestFig5SmallWindow(t *testing.T) {
-	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("uncontrolled replay")
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"behaviot/internal/parallel"
 	"behaviot/internal/pfsm"
 )
 
@@ -50,8 +51,14 @@ func Fig3(l *Lab) *Fig3Result {
 	}
 	sort.Strings(devices)
 
-	res := &Fig3Result{}
+	// Every x-position infers an independent PFSM over a read-only trace
+	// slice, so the points compute concurrently and are collected in
+	// device-count order.
+	var counts []int
 	for n := 2; n <= len(devices); n += 2 {
+		counts = append(counts, n)
+	}
+	points := parallel.Map(l.Scale.Workers, counts, func(_ int, n int) Fig3Point {
 		allowed := map[string]bool{}
 		for _, d := range devices[:n] {
 			allowed[d] = true
@@ -76,15 +83,15 @@ func Fig3(l *Lab) *Fig3Result {
 				seqEdges += len(tr) + 1 // entry + internal + exit
 			}
 		}
-		res.Points = append(res.Points, Fig3Point{
+		return Fig3Point{
 			Devices:   n,
 			PFSMNodes: m.NumStates(),
 			PFSMEdges: m.TotalEdges(),
 			SeqNodes:  seqNodes,
 			SeqEdges:  seqEdges,
-		})
-	}
-	return res
+		}
+	})
+	return &Fig3Result{Points: points}
 }
 
 // Final returns the last (full device set) point.

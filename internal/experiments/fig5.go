@@ -7,6 +7,8 @@ import (
 
 	"behaviot/internal/core"
 	"behaviot/internal/datasets"
+	"behaviot/internal/flows"
+	"behaviot/internal/parallel"
 )
 
 // Fig5Day is one day's deviation counts in the uncontrolled study.
@@ -35,13 +37,14 @@ type Fig5Result struct {
 // the figure's one-marker-per-detection granularity.
 func Fig5(l *Lab, days int) *Fig5Result {
 	pipe := l.Pipeline()
-	cfg := datasets.UncontrolledConfig{Days: days, Seed: l.Scale.Seed}
+	cfg := datasets.UncontrolledConfig{Days: days, Seed: l.Scale.Seed, Workers: l.Scale.Workers}
 	incidents := datasets.DefaultIncidents(cfg)
 
-	res := &Fig5Result{}
-	scanState := core.NewPeriodicScanState()
-	pipe.Periodic.Reset()
-	for day := 0; day < days; day++ {
+	// Day generation is a pure function of (cfg, incidents, day), so the
+	// expensive synthesis runs on the worker pool a chunk of days at a
+	// time; the replay below stays sequential because the periodic
+	// classifier and scan state carry across midnight.
+	genDay := func(day int) []*flows.Flow {
 		fs := datasets.UncontrolledDay(l.TB, cfg, incidents, day)
 		// Restrict to the lab's device set so reduced-scale runs work.
 		if l.Scale.Devices != nil {
@@ -54,6 +57,29 @@ func Fig5(l *Lab, days int) *Fig5Result {
 			}
 			fs = filtered
 		}
+		return fs
+	}
+	chunk := parallel.Resolve(l.Scale.Workers)
+	if chunk < 4 {
+		chunk = 4
+	}
+
+	res := &Fig5Result{}
+	scanState := core.NewPeriodicScanState()
+	pipe.Periodic.Reset()
+	var pending [][]*flows.Flow
+	for day := 0; day < days; day++ {
+		if day%chunk == 0 {
+			n := chunk
+			if days-day < n {
+				n = days - day
+			}
+			first := day
+			pending = parallel.Map(l.Scale.Workers, make([]struct{}, n),
+				func(i int, _ struct{}) []*flows.Flow { return genDay(first + i) })
+		}
+		fs := pending[day%chunk]
+		pending[day%chunk] = nil
 		events := pipe.Classify(fs)
 		dayEnd := datasets.UncontrolledStart.Add(time.Duration(day+1) * 24 * time.Hour)
 

@@ -7,6 +7,7 @@ import (
 
 	"behaviot/internal/core"
 	"behaviot/internal/flows"
+	"behaviot/internal/parallel"
 )
 
 // FoldResult is one fold's periodic-deviation distributions.
@@ -42,8 +43,15 @@ func Fig4aKFold(l *Lab, k int) *Fig4aKFoldResult {
 		CombinedTrain: CDFSeries{Label: "train(5-fold)"},
 		CombinedTest:  CDFSeries{Label: "test(5-fold)"},
 	}
+	// Each fold trains its own classifier on disjoint inputs, so the
+	// folds run concurrently; results are collected by fold index, which
+	// keeps the combined CDFs identical for every worker count.
 	cfg := core.DefaultPeriodicConfig()
-	for fold := 0; fold < k; fold++ {
+	folds := make([]int, k)
+	for i := range folds {
+		folds[i] = i
+	}
+	res.Folds = parallel.Map(l.Scale.Workers, folds, func(_ int, fold int) FoldResult {
 		var train, test []*flows.Flow
 		for i, f := range all {
 			if foldOf(i) == fold {
@@ -59,7 +67,9 @@ func Fig4aKFold(l *Lab, k int) *Fig4aKFoldResult {
 		fr.Train.Values = periodicScores(pipe, train)
 		fr.Test.Label = fmt.Sprintf("fold%d-test", fold)
 		fr.Test.Values = periodicScores(pipe, test)
-		res.Folds = append(res.Folds, fr)
+		return fr
+	})
+	for _, fr := range res.Folds {
 		res.CombinedTrain.Values = append(res.CombinedTrain.Values, fr.Train.Values...)
 		res.CombinedTest.Values = append(res.CombinedTest.Values, fr.Test.Values...)
 	}

@@ -28,6 +28,9 @@ type Scale struct {
 	Devices []string
 	// Seed drives all generation.
 	Seed int64
+	// Workers bounds dataset-generation and per-device experiment
+	// concurrency (0 = all cores). Results are identical for every value.
+	Workers int
 }
 
 // PaperScale reproduces the paper's dataset sizes.
@@ -120,16 +123,16 @@ func (l *Lab) ensureIdle() {
 	if trainDays < 1 {
 		trainDays = 1
 	}
-	l.idleTrain = datasets.Idle(l.TB, l.Scale.Seed, datasets.DefaultStart, trainDays, l.devices)
+	l.idleTrain = datasets.Idle(l.TB, l.Scale.Seed, datasets.DefaultStart, trainDays, l.devices, l.Scale.Workers)
 	l.idleTest = datasets.Idle(l.TB, l.Scale.Seed+1,
-		datasets.DefaultStart.Add(time.Duration(trainDays)*24*time.Hour), 1, l.devices)
+		datasets.DefaultStart.Add(time.Duration(trainDays)*24*time.Hour), 1, l.devices, l.Scale.Workers)
 }
 
 // Samples returns the labeled activity dataset, filtered to the lab's
 // device set.
 func (l *Lab) Samples() []datasets.ActivitySample {
 	if l.samples == nil {
-		all := datasets.Activity(l.TB, l.Scale.Seed+2, l.Scale.ActivityReps)
+		all := datasets.Activity(l.TB, l.Scale.Seed+2, l.Scale.ActivityReps, l.Scale.Workers)
 		keep := l.deviceSet()
 		for _, s := range all {
 			if keep[s.Device] {
@@ -142,7 +145,7 @@ func (l *Lab) Samples() []datasets.ActivitySample {
 
 // HeldOutSamples generates fresh labeled repetitions not used in training.
 func (l *Lab) HeldOutSamples(reps int) []datasets.ActivitySample {
-	all := datasets.Activity(l.TB, l.Scale.Seed+77, reps)
+	all := datasets.Activity(l.TB, l.Scale.Seed+77, reps, l.Scale.Workers)
 	keep := l.deviceSet()
 	var out []datasets.ActivitySample
 	for _, s := range all {
@@ -159,7 +162,7 @@ func (l *Lab) Routine() *datasets.RoutineDataset {
 	if l.routine == nil {
 		l.routine = datasets.Routine(l.TB, l.Scale.Seed+3,
 			datasets.DefaultStart.Add(30*24*time.Hour),
-			datasets.RoutineConfig{Days: l.Scale.RoutineDays})
+			datasets.RoutineConfig{Days: l.Scale.RoutineDays, Workers: l.Scale.Workers})
 	}
 	return l.routine
 }

@@ -7,6 +7,7 @@ import (
 	"behaviot/internal/core"
 	"behaviot/internal/datasets"
 	"behaviot/internal/flows"
+	"behaviot/internal/parallel"
 )
 
 // Table2Row is one device-category row of Table 2.
@@ -69,20 +70,29 @@ func Table2(l *Lab) *Table2Result {
 		aper[cat] = a
 	}
 
-	// User event accuracy on held-out repetitions.
+	// User event accuracy on held-out repetitions. Forest inference is
+	// read-only, so the samples classify concurrently; the per-category
+	// tallies are folded afterwards in sample order.
 	heldOut := l.HeldOutSamples(5)
 	userAcc := map[string][2]int{}
-	for _, s := range heldOut {
+	correct := parallel.Map(l.Scale.Workers, heldOut, func(_ int, s datasets.ActivitySample) int {
 		f := mainActivityFlow(s)
 		if f == nil {
+			return -1
+		}
+		if label, _, ok := pipe.UserAction.Classify(f); ok && label == s.Label {
+			return 1
+		}
+		return 0
+	})
+	for i, s := range heldOut {
+		if correct[i] < 0 {
 			continue
 		}
 		cat := l.categoryOf(s.Device)
 		c := userAcc[cat]
 		c[1]++
-		if label, _, ok := pipe.UserAction.Classify(f); ok && label == s.Label {
-			c[0]++
-		}
+		c[0] += correct[i]
 		userAcc[cat] = c
 		a := aper[cat]
 		a[1]++

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"behaviot/internal/datasets"
 	"behaviot/internal/flows"
+	"behaviot/internal/parallel"
 	"behaviot/internal/pingpong"
 )
 
@@ -46,15 +48,36 @@ func Table3(l *Lab) *Table3Result {
 	pp := pingpong.Train(training, pingpong.Config{})
 	pipe := l.Pipeline()
 
+	// Both classifiers are read-only after training, so the held-out
+	// samples score concurrently; verdicts fold into per-device tallies
+	// in sample order.
 	heldOut := l.HeldOutSamples(6)
-	type acc struct{ bOK, pOK, n int }
-	byDevice := map[string]*acc{}
-	for _, s := range heldOut {
+	type verdict struct {
+		skip     bool
+		bOK, pOK bool
+	}
+	verdicts := parallel.Map(l.Scale.Workers, heldOut, func(_ int, s datasets.ActivitySample) verdict {
 		if !keep[s.Device] {
-			continue
+			return verdict{skip: true}
 		}
 		f := mainActivityFlow(s)
 		if f == nil {
+			return verdict{skip: true}
+		}
+		var v verdict
+		if label, _, ok := pipe.UserAction.Classify(f); ok && label == s.Label {
+			v.bOK = true
+		}
+		if label, ok := pp.Classify(f); ok && label == s.Label {
+			v.pOK = true
+		}
+		return v
+	})
+	type acc struct{ bOK, pOK, n int }
+	byDevice := map[string]*acc{}
+	for i, s := range heldOut {
+		v := verdicts[i]
+		if v.skip {
 			continue
 		}
 		a := byDevice[s.Device]
@@ -63,10 +86,10 @@ func Table3(l *Lab) *Table3Result {
 			byDevice[s.Device] = a
 		}
 		a.n++
-		if label, _, ok := pipe.UserAction.Classify(f); ok && label == s.Label {
+		if v.bOK {
 			a.bOK++
 		}
-		if label, ok := pp.Classify(f); ok && label == s.Label {
+		if v.pOK {
 			a.pOK++
 		}
 	}

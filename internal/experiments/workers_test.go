@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// tinyScale is a minimal lab for worker-equivalence checks: large
+// enough that every experiment has data, small enough to train two
+// full pipelines in one test.
+func tinyScale(workers int) Scale {
+	return Scale{
+		IdleDays: 2, ActivityReps: 5, RoutineDays: 1, Seed: 2021,
+		Workers: workers,
+		Devices: []string{
+			"TPLink Plug", "TPLink Bulb", "Wemo Plug",
+			"Ring Camera", "Echo Spot", "Govee Bulb",
+		},
+	}
+}
+
+// TestExperimentsWorkerEquivalent pins the tentpole contract end to
+// end: every table and figure renders to the identical string whether
+// the lab ran serially or on eight workers.
+func TestExperimentsWorkerEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two pipelines")
+	}
+	serial := NewLab(tinyScale(1))
+	parallel8 := NewLab(tinyScale(8))
+
+	checks := []struct {
+		name string
+		run  func(*Lab) string
+	}{
+		{"table2", func(l *Lab) string { return Table2(l).String() }},
+		{"table3", func(l *Lab) string { return Table3(l).String() }},
+		{"table9", func(l *Lab) string { return Table9(l).String() }},
+		{"fig3", func(l *Lab) string { return Fig3(l).String() }},
+		{"fig4a5fold", func(l *Lab) string { return Fig4aKFold(l, 5).String() }},
+		{"fig5", func(l *Lab) string { return Fig5(l, 3).String() }},
+		{"ablations", func(l *Lab) string { return Ablations(l).String() }},
+	}
+	for _, c := range checks {
+		a := c.run(serial)
+		b := c.run(parallel8)
+		if a != b {
+			t.Errorf("%s output differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", c.name, a, b)
+		}
+	}
+}

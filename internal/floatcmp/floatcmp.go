@@ -1,0 +1,31 @@
+// Package floatcmp holds the repository's float-comparison primitives.
+// It is a leaf package (stdlib imports only) so that numeric packages
+// like internal/dsp can use epsilon comparisons without pulling in the
+// full internal/stats dependency tree. behaviotlint's floateq analyzer
+// points float == / != findings here.
+package floatcmp
+
+import "math"
+
+// Eps is the default tolerance for ApproxEqual: comfortably above
+// float64 rounding noise for the O(1)-magnitude probabilities and
+// z-scores this repository works with, far below any meaningful
+// difference between them.
+const Eps = 1e-9
+
+// ApproxEqual reports whether a and b are equal within Eps, scaled by
+// the larger magnitude so the tolerance behaves relatively for large
+// values and absolutely near zero.
+func ApproxEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= Eps*scale
+}
+
+// IsZero reports whether x is exactly zero. Use it for divide-by-zero
+// guards: only exact zero produces Inf/NaN, so an epsilon there would
+// silently reject valid small denominators.
+func IsZero(x float64) bool {
+	//lint:ignore floateq exact zero is the only value that divides to Inf/NaN
+	return x == 0
+}

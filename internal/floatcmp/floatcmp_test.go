@@ -1,0 +1,37 @@
+package floatcmp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{1e12, 1e12 * (1 + 1e-12), true},
+		{1e12, 1e12 + 1, true}, // relative tolerance at large magnitude
+		{0, 1e-12, true},       // absolute tolerance near zero
+		{0, 1e-6, false},
+		{-1, 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(math.Copysign(0, -1)) {
+		t.Error("IsZero rejects zero")
+	}
+	if IsZero(1e-300) || IsZero(math.SmallestNonzeroFloat64) {
+		t.Error("IsZero accepts a nonzero denominator")
+	}
+}

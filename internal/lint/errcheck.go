@@ -29,14 +29,24 @@ var ErrCheckAllowed = map[string]bool{
 }
 
 // ErrCheck flags statements that drop an error on the floor outside
-// tests: a call statement whose callee returns an error, and blanket
-// discards assigning every result to the blank identifier. Deferred
-// calls are deliberately out of scope (`defer f.Close()` on read paths
-// is an accepted idiom here).
+// tests: a call statement whose callee returns an error, blanket
+// discards assigning every result to the blank identifier, and
+// `defer f.Close()` on files opened for writing. Deferred Close on
+// read paths stays an accepted idiom (`os.Open` → `defer f.Close()`),
+// but on a file from os.Create/os.OpenFile the deferred, unchecked
+// Close is where a full disk surfaces a short write — the process
+// exits zero with a truncated file.
 var ErrCheck = &Analyzer{
 	Name: "errcheck",
 	Doc:  "flag dropped error returns outside tests",
 	Run:  runErrCheck,
+}
+
+// writePathOpeners are functions whose result is a file handle on a
+// write path; deferring Close on it drops the final flush error.
+var writePathOpeners = map[string]bool{
+	"os.Create":   true,
+	"os.OpenFile": true,
 }
 
 func runErrCheck(pkg *Package) []Finding {
@@ -45,6 +55,7 @@ func runErrCheck(pkg *Package) []Finding {
 		if isTestFile(pkg, file.Pos()) {
 			continue
 		}
+		writeFiles := writePathFiles(pkg, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch st := n.(type) {
 			case *ast.ExprStmt:
@@ -68,11 +79,53 @@ func runErrCheck(pkg *Package) []Finding {
 					out = append(out, finding(pkg, "errcheck", st.Pos(),
 						"error return of %s is discarded with _; handle it or //lint:ignore errcheck <reason>", name))
 				}
+			case *ast.DeferStmt:
+				if obj := closedObject(pkg, st.Call); obj != nil && writeFiles[obj] {
+					out = append(out, finding(pkg, "errcheck", st.Pos(),
+						"deferred Close on write-path file %s drops the flush error; Close explicitly and check it, or //lint:ignore errcheck <reason>", obj.Name()))
+				}
 			}
 			return true
 		})
 	}
 	return out
+}
+
+// writePathFiles collects the objects of variables bound to the result
+// of a write-path opener (os.Create, os.OpenFile) anywhere in file.
+func writePathFiles(pkg *Package, file *ast.File) map[types.Object]bool {
+	files := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Rhs) != 1 || len(st.Lhs) == 0 {
+			return true
+		}
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok || !writePathOpeners[calleeName(pkg, call)] {
+			return true
+		}
+		if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.ObjectOf(id); obj != nil {
+				files[obj] = true
+			}
+		}
+		return true
+	})
+	return files
+}
+
+// closedObject returns the receiver variable's object for a `x.Close()`
+// call, or nil for any other call shape.
+func closedObject(pkg *Package, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pkg.Info.ObjectOf(id)
 }
 
 func allBlank(exprs []ast.Expr) bool {

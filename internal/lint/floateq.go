@@ -11,7 +11,7 @@ import (
 // FloatEq flags == and != comparisons where either operand has floating
 // point type, outside _test.go files. Accumulated rounding error makes
 // exact float comparison a reproduction hazard in the model code; use
-// stats.ApproxEqual / stats.IsZero, or restructure the comparison, or
+// floatcmp.ApproxEqual / floatcmp.IsZero, or restructure the comparison, or
 // suppress with a justified //lint:ignore floateq when exactness is the
 // point (e.g. a divide-by-zero guard).
 var FloatEq = &Analyzer{
@@ -33,7 +33,7 @@ func runFloatEq(pkg *Package) []Finding {
 			}
 			if isFloat(pkg, be.X) || isFloat(pkg, be.Y) {
 				out = append(out, finding(pkg, "floateq", be.OpPos,
-					"floating-point %s comparison (%s); use an epsilon comparison such as stats.ApproxEqual, or //lint:ignore floateq <reason> if exactness is intended",
+					"floating-point %s comparison (%s); use an epsilon comparison such as floatcmp.ApproxEqual, or //lint:ignore floateq <reason> if exactness is intended",
 					be.Op, render(pkg.Fset, be)))
 			}
 			return true

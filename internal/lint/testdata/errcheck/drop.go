@@ -37,3 +37,52 @@ func Use() {
 	//lint:ignore errcheck fixture: proves suppression is honored
 	fallible()
 }
+
+// WriteFile exercises the write-path defer rule: deferring Close on a
+// file opened for writing drops the flush error.
+func WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want errcheck
+	_, err = f.WriteString("data")
+	return err
+}
+
+// AppendFile: os.OpenFile counts as a write-path opener too.
+func AppendFile(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want errcheck
+	_, err = f.WriteString("data")
+	return err
+}
+
+// ReadFile: deferred Close on a read path stays the accepted idiom.
+func ReadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // ok: read path
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+// WriteFileChecked closes explicitly and checks the error — clean.
+func WriteFileChecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("data"); err != nil {
+		//lint:ignore errcheck fixture: write error already being returned
+		f.Close()
+		return err
+	}
+	return f.Close() // ok: error propagated
+}

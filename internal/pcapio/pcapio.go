@@ -10,6 +10,8 @@ package pcapio
 
 import (
 	"bufio"
+	"bytes"
+	"container/heap"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -100,6 +102,92 @@ func (w *Writer) WritePacket(ts time.Time, data []byte) error {
 // Flush flushes buffered records to the underlying writer. Callers must
 // Flush before closing the underlying file.
 func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Record is one packet ready for serialization: a capture timestamp and
+// the encoded wire bytes. The dataset generators encode per-device
+// streams to records in parallel and hand them to WriteMerged.
+type Record struct {
+	Time time.Time
+	Data []byte
+}
+
+// CompareRecords orders records by timestamp, breaking ties by wire
+// bytes. Records that compare equal serialize identically, so emitting
+// them in either order yields the same capture bytes.
+func CompareRecords(a, b Record) int {
+	if c := a.Time.Compare(b.Time); c != 0 {
+		return c
+	}
+	return bytes.Compare(a.Data, b.Data)
+}
+
+// WriteMerged k-way merges several record streams, each already sorted
+// by timestamp, into the writer: the stream whose head record is
+// smallest under CompareRecords is drained first. For a fixed list of
+// input streams the output bytes are a deterministic function of the
+// stream contents alone — producing the streams on any number of
+// workers cannot change the merged capture — and because cross-stream
+// ties break on record bytes, permuting the streams changes nothing
+// unless two streams share a byte-identical record at the same instant
+// (per-device sharding gives every stream distinct addresses, so they
+// never do). This is the ordered-merge half of the parallel dataset
+// pipeline's determinism argument; the other half is per-shard
+// sub-seeding in internal/testbed. A stream whose timestamps go
+// backwards yields ErrUnsorted.
+func (w *Writer) WriteMerged(streams ...[]Record) error {
+	heads := make([]mergeStream, 0, len(streams))
+	for _, s := range streams {
+		if len(s) > 0 {
+			heads = append(heads, mergeStream{records: s})
+		}
+	}
+	h := mergeHeap(heads)
+	heap.Init(&h)
+	for h.Len() > 0 {
+		s := &h[0]
+		rec := s.records[s.next]
+		if err := w.WritePacket(rec.Time, rec.Data); err != nil {
+			return err
+		}
+		s.next++
+		if s.next < len(s.records) {
+			if s.records[s.next].Time.Before(rec.Time) {
+				return ErrUnsorted
+			}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}
+
+// ErrUnsorted is returned by WriteMerged when an input stream's
+// timestamps are not non-decreasing.
+var ErrUnsorted = errors.New("pcapio: merge input stream not time-sorted")
+
+// mergeStream is one input of the k-way merge with its read cursor.
+type mergeStream struct {
+	records []Record
+	next    int
+}
+
+// mergeHeap is a min-heap of streams keyed by their head record.
+type mergeHeap []mergeStream
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return CompareRecords(h[i].records[h[i].next], h[j].records[h[j].next]) < 0
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeStream)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
 
 // Reader reads packets from a pcap stream. Create with NewReader.
 type Reader struct {

@@ -12,34 +12,29 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"behaviot/internal/floatcmp"
 )
 
 // ErrEmpty is returned by functions that cannot operate on empty input.
 var ErrEmpty = errors.New("stats: empty input")
 
-// Eps is the default tolerance for ApproxEqual: comfortably above
-// float64 rounding noise for the O(1)-magnitude probabilities and
-// z-scores this package works with, far below any meaningful
-// difference between them.
-const Eps = 1e-9
+// Eps is the default tolerance for ApproxEqual, re-exported from the
+// leaf internal/floatcmp package.
+const Eps = floatcmp.Eps
 
 // ApproxEqual reports whether a and b are equal within Eps, scaled by
 // the larger magnitude so the tolerance behaves relatively for large
-// values and absolutely near zero. This is the comparison behaviotlint's
-// floateq analyzer points to instead of ==.
-func ApproxEqual(a, b float64) bool {
-	diff := math.Abs(a - b)
-	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
-	return diff <= Eps*scale
-}
+// values and absolutely near zero. It delegates to internal/floatcmp,
+// the leaf home of the comparison; packages that want to avoid the
+// stats dependency tree (e.g. internal/dsp) import floatcmp directly.
+func ApproxEqual(a, b float64) bool { return floatcmp.ApproxEqual(a, b) }
 
-// IsZero reports whether x is exactly zero. Use it for divide-by-zero
-// guards: only exact zero produces Inf/NaN, so an epsilon there would
-// silently reject valid small denominators.
-func IsZero(x float64) bool {
-	//lint:ignore floateq exact zero is the only value that divides to Inf/NaN
-	return x == 0
-}
+// IsZero reports whether x is exactly zero, delegating to
+// internal/floatcmp. Use it for divide-by-zero guards: only exact zero
+// produces Inf/NaN, so an epsilon there would silently reject valid
+// small denominators.
+func IsZero(x float64) bool { return floatcmp.IsZero(x) }
 
 // Mean returns the arithmetic mean of xs, or 0 for empty input.
 func Mean(xs []float64) float64 {

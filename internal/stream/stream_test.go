@@ -30,9 +30,9 @@ func getFixture(t *testing.T) *streamFixture {
 	devices := []*testbed.DeviceProfile{
 		tb.Device("TPLink Plug"), tb.Device("Ring Camera"), tb.Device("Gosund Bulb"),
 	}
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices)
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices, 0)
 	labeled := map[string][]*flows.Flow{}
-	for _, s := range datasets.Activity(tb, 2, 10) {
+	for _, s := range datasets.Activity(tb, 2, 10, 0) {
 		for _, d := range devices {
 			if s.Device == d.Name {
 				labeled[s.Label] = append(labeled[s.Label], s.Flows...)

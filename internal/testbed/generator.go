@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,6 +24,25 @@ type Generator struct {
 // NewGenerator creates a Generator.
 func NewGenerator(tb *Testbed, seed int64) *Generator {
 	return &Generator{TB: tb, Seed: seed}
+}
+
+// SubSeed derives an independent sub-seed from seed and a name path
+// (seed ⊕ hash(parts), a splittable-RNG scheme): the same inputs always
+// yield the same sub-seed, and distinct paths yield decorrelated
+// streams. The dataset generators give every device (and every routine
+// day) its own sub-seeded generator so per-shard generation is a pure
+// function of (seed, shard ID) — the property that lets internal/parallel
+// fan shards out across workers without any ordering or state coupling.
+func SubSeed(seed int64, parts ...string) int64 {
+	return seed ^ int64(deviceSeed(append([]string{"subgen"}, parts...)...))
+}
+
+// ForDevice returns a Generator whose seed is derived from g's seed and
+// the device ID. A Generator carries no mutable state, so the value may
+// be used concurrently with others; the derived seed exists to make each
+// device's packet stream an explicit function of (seed, deviceID).
+func (g *Generator) ForDevice(deviceID string) *Generator {
+	return &Generator{TB: g.TB, Seed: SubSeed(g.Seed, "device", deviceID)}
 }
 
 const (
@@ -296,16 +316,57 @@ func (g *Generator) Activity(dev *DeviceProfile, act *ActivitySpec, at time.Time
 	return out
 }
 
-// sortPackets orders packets by timestamp (stable for equal times).
+// ComparePackets is the canonical total order on packets: timestamp
+// first, then source/destination address and port, protocol, wire
+// length, and finally payload bytes. Packets that compare equal are
+// byte-identical on the wire, so any stream sorted by this order
+// serializes to the same pcap regardless of how it was produced. This
+// is the determinism argument for parallel generation: per-device
+// streams may be generated in any order by any number of workers, and
+// the merged result is a pure function of the packet *set*.
+func ComparePackets(a, b *netparse.Packet) int {
+	if c := a.Timestamp.Compare(b.Timestamp); c != 0 {
+		return c
+	}
+	if c := a.SrcIP.Compare(b.SrcIP); c != 0 {
+		return c
+	}
+	if c := a.DstIP.Compare(b.DstIP); c != 0 {
+		return c
+	}
+	if a.SrcPort != b.SrcPort {
+		return int(a.SrcPort) - int(b.SrcPort)
+	}
+	if a.DstPort != b.DstPort {
+		return int(a.DstPort) - int(b.DstPort)
+	}
+	if a.Proto != b.Proto {
+		return int(a.Proto) - int(b.Proto)
+	}
+	if a.WireLen != b.WireLen {
+		return a.WireLen - b.WireLen
+	}
+	return bytes.Compare(a.Payload, b.Payload)
+}
+
+// sortPackets orders packets by the canonical total order.
 func sortPackets(ps []*netparse.Packet) {
-	sort.SliceStable(ps, func(i, j int) bool {
-		return ps[i].Timestamp.Before(ps[j].Timestamp)
+	sort.Slice(ps, func(i, j int) bool {
+		return ComparePackets(ps[i], ps[j]) < 0
 	})
 }
 
-// MergePackets merges several packet streams into one time-ordered stream.
+// MergePackets merges several packet streams into one stream in the
+// canonical ComparePackets order. The result does not depend on the
+// order of the streams or on the order of packets within each stream —
+// only on the packets themselves — so parallel per-device generation
+// merges to a byte-identical capture for any worker count.
 func MergePackets(streams ...[]*netparse.Packet) []*netparse.Packet {
-	var out []*netparse.Packet
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]*netparse.Packet, 0, total)
 	for _, s := range streams {
 		out = append(out, s...)
 	}
