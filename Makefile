@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build test race vet lint fmt-check check clean \
-	bench bench-json experiments-quick experiments-expectations
+	bench bench-json experiments-quick experiments-expectations \
+	fuzz-smoke
 
 # Date stamp for benchmark artifacts (UTC, override with BENCH_DATE=).
 BENCH_DATE ?= $(shell date -u +%F)
@@ -63,6 +64,19 @@ experiments-quick:
 ## expectations that CI diffs against
 experiments-expectations:
 	$(GO) run ./cmd/experiments -run all -quick > internal/experiments/testdata/quick_expected.txt
+
+## fuzz-smoke: run every native fuzz target briefly (go test -fuzz
+## accepts one target per invocation, hence the loop); longer local
+## runs: go test -fuzz=FuzzDecode -fuzztime=60s ./internal/netparse/
+FUZZTIME ?= 20s
+fuzz-smoke:
+	@set -e; \
+	for t in FuzzDecode FuzzDecodeDNS FuzzExtractSNI; do \
+		echo "fuzzing $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/netparse/; \
+	done; \
+	echo "fuzzing FuzzPcapReader ($(FUZZTIME))"; \
+	$(GO) test -run '^$$' -fuzz='^FuzzPcapReader$$' -fuzztime=$(FUZZTIME) ./internal/pcapio/
 
 ## check: everything CI runs
 check: build vet fmt-check lint test race

@@ -4,10 +4,17 @@
 // status over HTTP — the home-gateway deployment the paper proposes for
 // anomaly detection (§7.2).
 //
+// The ingest path degrades gracefully instead of aborting: with -tolerant
+// the pcap reader resyncs past corrupt records and malformed frames are
+// counted per error class rather than fatal, -queue bounds the feed queue
+// between the capture producer and the monitor, and -maxskew sheds
+// packets whose clock lags stream time. All damage shows up as counters
+// on /status and /metrics. SIGINT/SIGTERM shut the daemon down cleanly.
+//
 // Endpoints:
 //
 //	GET /healthz     liveness probe
-//	GET /status      JSON counters (packets, flows, events by class, deviations)
+//	GET /status      JSON counters (packets, flows, events by class, deviations, ingest health)
 //	GET /events      most recent user events (JSON array)
 //	GET /deviations  most recent deviations (JSON array)
 //	GET /metrics     Prometheus-style text exposition
@@ -15,17 +22,20 @@
 // Usage:
 //
 //	behaviotd -listen :8650 -replay capture.pcap -idle idle.pcap \
-//	          -devices devices.csv [-sim]
+//	          -devices devices.csv [-tolerant] [-queue 4096] [-maxskew 2s]
 //
 // With -sim (no capture needed) the daemon trains on the bundled testbed
 // simulator and feeds itself a continuous synthetic day, which makes it a
-// self-contained demo:
+// self-contained demo. -sim composes with -replay (replay a capture
+// against simulator-trained models) and with -impair (damage the
+// synthetic feed through the internal/chaos operators first):
 //
-//	behaviotd -listen :8650 -sim
+//	behaviotd -listen :8650 -sim -impair drop=0.01,corrupt=0.01,skew=50ms
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,10 +45,14 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"behaviot/internal/chaos"
 	"behaviot/internal/core"
 	"behaviot/internal/datasets"
 	"behaviot/internal/flows"
@@ -55,7 +69,9 @@ const ringSize = 256
 // server holds the daemon's shared state: mu guards the stream monitor
 // (owned by the feeder goroutine, sampled by HTTP handlers) and ringMu
 // guards the recent-event buffers. They are separate locks because the
-// monitor invokes the ring-buffer callbacks while mu is held.
+// monitor invokes the ring-buffer callbacks while mu is held. The
+// ingest-health counters are atomics so the feeder can bump them
+// without a lock ordering on the hot path.
 type server struct {
 	mu      sync.Mutex // guards monitor
 	monitor *stream.Monitor
@@ -64,31 +80,87 @@ type server struct {
 	events     []stream.Event
 	deviations []stream.Deviation
 
-	started time.Time
+	// Ingest-health counters (see ingestRecord and feedPcapFile).
+	parseErrors    atomic.Int64
+	parseByClass   [len(parseClasses)]atomic.Int64
+	skippedRecords atomic.Int64
+	skippedBytes   atomic.Int64
+
+	// queue is the optional bounded feed queue (-queue), nil when the
+	// feeder writes straight into the monitor.
+	queue *stream.Queue
+
+	tolerant bool
+	started  time.Time
+}
+
+// parseClasses indexes the per-class parse error counters; the last
+// slot collects unclassified errors.
+var parseClasses = [...]string{
+	netparse.ClassChecksum, netparse.ClassMalformed,
+	netparse.ClassTruncated, netparse.ClassUnsupported, "other",
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code, so error paths return a clear message
+// and a nonzero status instead of a bare log.Fatal mid-feed.
+func run() int {
 	var (
-		listen  = flag.String("listen", ":8650", "HTTP listen address")
-		sim     = flag.Bool("sim", false, "self-contained demo: train on the simulator and feed synthetic traffic")
-		simRate = flag.Float64("simrate", 0, "simulator replay speed (0 = as fast as possible)")
-		idleP   = flag.String("idle", "", "idle training capture (pcap)")
-		devsP   = flag.String("devices", "", "device manifest CSV")
-		replayP = flag.String("replay", "", "capture to monitor (pcap)")
+		listen   = flag.String("listen", ":8650", "HTTP listen address")
+		sim      = flag.Bool("sim", false, "self-contained demo: train on the simulator and feed synthetic traffic")
+		simRate  = flag.Float64("simrate", 0, "simulator replay speed (0 = as fast as possible)")
+		idleP    = flag.String("idle", "", "idle training capture (pcap)")
+		devsP    = flag.String("devices", "", "device manifest CSV")
+		replayP  = flag.String("replay", "", "capture to monitor (pcap)")
+		tolerant = flag.Bool("tolerant", false, "degrade gracefully on damaged captures: resync past corrupt pcap records, count malformed frames per class instead of aborting")
+		queueLen = flag.Int("queue", 0, "bounded feed queue length between capture producer and monitor (0 = feed directly); overflow is counted, not blocking")
+		maxSkew  = flag.Duration("maxskew", 0, "drop packets whose timestamp lags stream time by more than this (0 = accept any lag)")
+		impairS  = flag.String("impair", "", "impair the -sim feed through internal/chaos, e.g. drop=0.01,corrupt=0.01,skew=50ms (requires -sim)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime)
 
-	srv := &server{started: time.Now()}
-	var feed func(*server)
+	impair, err := chaos.ParseConfig(*impairS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "behaviotd:", err)
+		return 2
+	}
+	if *impairS != "" && !*sim {
+		fmt.Fprintln(os.Stderr, "behaviotd: -impair only applies to the -sim feed; use -tolerant for damaged real captures")
+		return 2
+	}
 
+	srv := &server{started: time.Now(), tolerant: *tolerant}
+	scfg := stream.Config{
+		MaxSkew:     *maxSkew,
+		OnEvent:     func(e stream.Event) { srv.record(&e, nil) },
+		OnDeviation: func(d stream.Deviation) { srv.record(nil, &d) },
+	}
+
+	var feed func(*server) error
 	if *sim {
-		feed = setupSimulator(srv, *simRate)
+		feed, err = setupSimulator(srv, scfg, *simRate, *replayP, impair)
 	} else {
 		if *idleP == "" || *devsP == "" || *replayP == "" {
-			log.Fatal("need -idle, -devices and -replay (or -sim); see -h")
+			fmt.Fprintln(os.Stderr, "behaviotd: need -idle, -devices and -replay (or -sim); see -h")
+			return 2
 		}
-		feed = setupReplay(srv, *idleP, *devsP, *replayP)
+		feed, err = setupReplay(srv, scfg, *idleP, *devsP, *replayP)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "behaviotd:", err)
+		return 1
+	}
+
+	if *queueLen > 0 {
+		srv.queue = stream.NewQueue(*queueLen, func(p *netparse.Packet) {
+			srv.mu.Lock()
+			srv.monitor.Feed(p)
+			srv.mu.Unlock()
+		})
 	}
 
 	mux := http.NewServeMux()
@@ -100,11 +172,98 @@ func main() {
 	mux.HandleFunc("GET /deviations", srv.handleDeviations)
 	mux.HandleFunc("GET /metrics", srv.handleMetrics)
 
-	go feed(srv)
+	httpSrv := &http.Server{Addr: *listen, Handler: mux}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.ListenAndServe() }()
+
+	feedErr := make(chan error, 1)
+	go func() { feedErr <- feed(srv) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	log.Printf("behaviotd listening on %s", *listen)
-	if err := http.ListenAndServe(*listen, mux); err != nil {
-		log.Fatal(err)
+
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		srv.closeFeed()
 	}
+
+	for {
+		select {
+		case err := <-feedErr:
+			if err != nil {
+				shutdown()
+				fmt.Fprintln(os.Stderr, "behaviotd: feed failed:", err)
+				return 1
+			}
+			log.Println("feed complete; daemon keeps serving status")
+			feedErr = nil // completed; keep serving until a signal
+		case s := <-sig:
+			log.Printf("%s: shutting down", s)
+			shutdown()
+			return 0
+		case err := <-httpErr:
+			if errors.Is(err, http.ErrServerClosed) {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "behaviotd: http server:", err)
+			return 1
+		}
+	}
+}
+
+// closeFeed drains the queue (if any) and flushes the monitor.
+func (s *server) closeFeed() {
+	if s.queue != nil {
+		s.queue.Close()
+	}
+	s.mu.Lock()
+	if s.monitor != nil {
+		s.monitor.Close()
+	}
+	s.mu.Unlock()
+}
+
+// feedPacket routes one decoded packet to the monitor, through the
+// bounded queue when configured (backpressure discipline: replay
+// producers wait rather than shed).
+func (s *server) feedPacket(p *netparse.Packet) {
+	if s.queue != nil {
+		s.queue.Feed(p)
+		return
+	}
+	s.mu.Lock()
+	s.monitor.Feed(p)
+	s.mu.Unlock()
+}
+
+// ingestRecord decodes one wire record and feeds it. Decode failures
+// are counted per error class and dropped — never fatal. Used by the
+// tolerant replay path and the impaired simulator feed.
+func (s *server) ingestRecord(ts time.Time, data []byte) {
+	p, err := netparse.Decode(data)
+	if err != nil {
+		s.countParseError(err)
+		return
+	}
+	p.Timestamp = ts
+	s.feedPacket(p)
+}
+
+func (s *server) countParseError(err error) {
+	s.parseErrors.Add(1)
+	class := netparse.ErrorClass(err)
+	for i, c := range parseClasses {
+		if c == class {
+			s.parseByClass[i].Add(1)
+			return
+		}
+	}
+	s.parseByClass[len(parseClasses)-1].Add(1)
 }
 
 // record is the stream callback target. It runs while mu is held by the
@@ -131,17 +290,35 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := s.monitor.Stats()
 	s.mu.Unlock()
-	writeJSON(w, map[string]any{
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"stream_time":    st.StreamTime,
-		"packets":        st.Packets,
-		"flows":          st.Flows,
-		"periodic":       st.Periodic,
-		"user":           st.User,
-		"aperiodic":      st.Aperiodic,
-		"traces":         st.Traces,
-		"deviations":     st.Deviations,
-	})
+	body := map[string]any{
+		"uptime_seconds":  time.Since(s.started).Seconds(),
+		"stream_time":     st.StreamTime,
+		"packets":         st.Packets,
+		"flows":           st.Flows,
+		"periodic":        st.Periodic,
+		"user":            st.User,
+		"aperiodic":       st.Aperiodic,
+		"traces":          st.Traces,
+		"deviations":      st.Deviations,
+		"parse_errors":    s.parseErrors.Load(),
+		"dropped_records": s.skippedRecords.Load(),
+		"late_dropped":    st.LateDropped,
+		"tolerant":        s.tolerant,
+	}
+	classes := map[string]int64{}
+	for i, c := range parseClasses {
+		if n := s.parseByClass[i].Load(); n > 0 {
+			classes[c] = n
+		}
+	}
+	if len(classes) > 0 {
+		body["parse_errors_by_class"] = classes
+	}
+	if s.queue != nil {
+		body["queue_dropped"] = s.queue.Dropped()
+		body["queue_depth"] = s.queue.Depth()
+	}
+	writeJSON(w, body)
 }
 
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -186,8 +363,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"behaviot_events_aperiodic_total", st.Aperiodic},
 		{"behaviot_traces_total", st.Traces},
 		{"behaviot_deviations_total", st.Deviations},
+		{"behaviot_parse_errors_total", s.parseErrors.Load()},
+		{"behaviot_dropped_records_total", s.skippedRecords.Load()},
+		{"behaviot_dropped_record_bytes_total", s.skippedBytes.Load()},
+		{"behaviot_late_dropped_total", st.LateDropped},
 	} {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.val)
+	}
+	fmt.Fprintf(w, "# TYPE behaviot_parse_errors_by_class_total counter\n")
+	for i, c := range parseClasses {
+		fmt.Fprintf(w, "behaviot_parse_errors_by_class_total{class=%q} %d\n", c, s.parseByClass[i].Load())
+	}
+	if s.queue != nil {
+		fmt.Fprintf(w, "# TYPE behaviot_queue_dropped_total counter\nbehaviot_queue_dropped_total %d\n", s.queue.Dropped())
+		fmt.Fprintf(w, "# TYPE behaviot_queue_depth gauge\nbehaviot_queue_depth %d\n", s.queue.Depth())
 	}
 }
 
@@ -202,8 +391,21 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // setupSimulator trains on the bundled testbed and returns a feeder that
 // streams a continuous synthetic day (with a device malfunction around
-// hour 10 so the demo shows deviations).
-func setupSimulator(srv *server, rate float64) func(*server) {
+// hour 10 so the demo shows deviations). When replayPath is set the
+// feeder replays that capture instead of the synthetic day; when impair
+// is non-zero the synthetic day is serialized to wire records, damaged
+// through the chaos operators, and fed back through the tolerant decode
+// path. It runs pre-spawn: srv.monitor is written before the feeder
+// goroutine or the HTTP server exists, so the guards do not apply yet.
+func setupSimulator(srv *server, scfg stream.Config, rate float64, replayPath string, impair chaos.Config) (func(*server) error, error) {
+	if replayPath != "" {
+		// Simulator-trained models, real capture: preflight before the
+		// ~10s training run so an unreadable file is an immediate
+		// startup error, not a mid-feed surprise.
+		if err := preflightPcap(replayPath); err != nil {
+			return nil, err
+		}
+	}
 	log.Println("sim mode: training on the bundled testbed simulator...")
 	tb := testbed.New()
 	devices := []*testbed.DeviceProfile{
@@ -221,7 +423,7 @@ func setupSimulator(srv *server, rate float64) func(*server) {
 	}
 	pipe, err := core.Train(idle, labeled, core.DefaultConfig())
 	if err != nil {
-		log.Fatal(err)
+		return nil, fmt.Errorf("sim training: %w", err)
 	}
 	routine := datasets.Routine(tb, 3, datasets.DefaultStart.Add(7*24*time.Hour),
 		datasets.RoutineConfig{Days: 1, RunsPerDay: 15, DirectPerDay: 3})
@@ -242,12 +444,15 @@ func setupSimulator(srv *server, rate float64) func(*server) {
 
 	srv.monitor = stream.NewMonitor(pipe, flows.Config{
 		LocalPrefix: tb.LocalPrefix, DeviceByIP: tb.DeviceByIP(),
-	}, stream.Config{
-		OnEvent:     func(e stream.Event) { srv.record(&e, nil) },
-		OnDeviation: func(d stream.Deviation) { srv.record(nil, &d) },
-	})
+	}, scfg)
 
-	return func(s *server) {
+	if replayPath != "" {
+		return func(s *server) error {
+			return s.feedPcapFile(replayPath, rate)
+		}, nil
+	}
+
+	return func(s *server) error {
 		g := testbed.NewGenerator(tb, 99)
 		start := datasets.DefaultStart.Add(30 * 24 * time.Hour)
 		var streams [][]*netparse.Packet
@@ -269,28 +474,57 @@ func setupSimulator(srv *server, rate float64) func(*server) {
 			}
 			kept = append(kept, p)
 		}
+		if ops := impair.Ops(); len(ops) > 0 {
+			return s.feedImpaired(kept, impair, rate)
+		}
 		log.Printf("replaying %d synthetic packets (24 simulated hours)", len(kept))
 		replayPackets(s, kept, rate)
-		s.mu.Lock()
-		s.monitor.Close()
-		s.mu.Unlock()
-		log.Println("replay complete; daemon keeps serving status")
+		s.closeFeed()
+		return nil
+	}, nil
+}
+
+// feedImpaired serializes packets to wire records, damages them through
+// the chaos operators, and feeds the damaged capture back through the
+// tolerant decode path — the self-contained robustness demo.
+func (s *server) feedImpaired(pkts []*netparse.Packet, impair chaos.Config, rate float64) error {
+	recs, err := datasets.EncodePackets(pkts)
+	if err != nil {
+		return fmt.Errorf("encoding sim feed: %w", err)
 	}
+	recs = chaos.Impair(recs, 99, impair)
+	log.Printf("replaying %d impaired records (of %d synthetic packets; impair %s)",
+		len(recs), len(pkts), impair)
+	var prev time.Time
+	for i, r := range recs {
+		if rate > 0 && i > 0 {
+			if gap := r.Time.Sub(prev); gap > 0 {
+				time.Sleep(time.Duration(float64(gap) / rate))
+			}
+		}
+		prev = r.Time
+		s.ingestRecord(r.Time, r.Data)
+	}
+	s.closeFeed()
+	return nil
 }
 
 // setupReplay loads training captures and returns a feeder replaying the
-// target capture.
-func setupReplay(srv *server, idlePath, devicesPath, replayPath string) func(*server) {
+// target capture. All load failures are returned (with context) so main
+// can exit nonzero before the daemon starts serving. Like
+// setupSimulator it runs pre-spawn, before any concurrent goroutine can
+// observe srv.
+func setupReplay(srv *server, scfg stream.Config, idlePath, devicesPath, replayPath string) (func(*server) error, error) {
 	deviceByIP, err := loadDevices(devicesPath)
 	if err != nil {
-		log.Fatal(err)
+		return nil, fmt.Errorf("loading device manifest: %w", err)
 	}
 	prefix := netip.MustParsePrefix("192.168.0.0/16")
 	acfg := flows.Config{LocalPrefix: prefix, DeviceByIP: deviceByIP}
 
 	idlePkts, err := readPcap(idlePath)
 	if err != nil {
-		log.Fatal(err)
+		return nil, fmt.Errorf("reading idle capture: %w", err)
 	}
 	a := flows.NewAssembler(acfg)
 	for _, p := range idlePkts {
@@ -300,23 +534,105 @@ func setupReplay(srv *server, idlePath, devicesPath, replayPath string) func(*se
 	log.Printf("idle training: %d packets → %d flows", len(idlePkts), len(idle))
 	pipe, err := core.Train(idle, map[string][]*flows.Flow{}, core.DefaultConfig())
 	if err != nil {
-		log.Fatal(err)
+		return nil, fmt.Errorf("training on idle capture: %w", err)
 	}
-	srv.monitor = stream.NewMonitor(pipe, acfg, stream.Config{
-		OnEvent:     func(e stream.Event) { srv.record(&e, nil) },
-		OnDeviation: func(d stream.Deviation) { srv.record(nil, &d) },
-	})
-	return func(s *server) {
-		pkts, err := readPcap(replayPath)
-		if err != nil {
-			log.Fatal(err)
+	srv.monitor = stream.NewMonitor(pipe, acfg, scfg)
+	// Preflight the replay capture so an unreadable file fails startup
+	// with a clear message instead of killing the feeder mid-flight.
+	if err := preflightPcap(replayPath); err != nil {
+		return nil, err
+	}
+	return func(s *server) error {
+		return s.feedPcapFile(replayPath, 0)
+	}, nil
+}
+
+// preflightPcap verifies a capture can be opened and has a valid pcap
+// header.
+func preflightPcap(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("replay capture: %w", err)
+	}
+	defer f.Close()
+	if _, err := pcapio.NewReader(f); err != nil {
+		return fmt.Errorf("replay capture %s: %w", path, err)
+	}
+	return nil
+}
+
+// openWithRetry opens a file with exponential backoff: transient
+// filesystem hiccups (NFS gateway storage, log rotation races) get
+// three more chances before the feeder gives up.
+func openWithRetry(path string) (*os.File, error) {
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			log.Printf("open %s failed (%v), retrying in %s", path, lastErr, backoff)
+			time.Sleep(backoff)
+			backoff *= 2
 		}
-		log.Printf("replaying %d packets from %s", len(pkts), replayPath)
-		replayPackets(s, pkts, 0)
-		s.mu.Lock()
-		s.monitor.Close()
-		s.mu.Unlock()
+		f, err := os.Open(path)
+		if err == nil {
+			return f, nil
+		}
+		lastErr = err
 	}
+	return nil, lastErr
+}
+
+// feedPcapFile streams a capture file into the monitor record by
+// record. With -tolerant the reader resyncs past corrupt records
+// (counted as dropped) and malformed frames are counted per class; in
+// strict mode the first damaged record aborts the feed with an error.
+func (s *server) feedPcapFile(path string, rate float64) error {
+	f, err := openWithRetry(path)
+	if err != nil {
+		return fmt.Errorf("replay capture: %w", err)
+	}
+	defer f.Close()
+	r, err := pcapio.NewReader(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("replay capture %s: %w", path, err)
+	}
+	r.SetTolerant(s.tolerant)
+	log.Printf("replaying %s (tolerant=%v)", path, s.tolerant)
+	var prev time.Time
+	first := true
+	for {
+		ts, data, err := r.ReadPacket()
+		s.skippedRecords.Store(r.Skipped())
+		s.skippedBytes.Store(r.SkippedBytes())
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
+		if rate > 0 && !first {
+			if gap := ts.Sub(prev); gap > 0 {
+				time.Sleep(time.Duration(float64(gap) / rate))
+			}
+		}
+		prev, first = ts, false
+		if s.tolerant {
+			s.ingestRecord(ts, data)
+			continue
+		}
+		p, err := netparse.Decode(data)
+		if err != nil {
+			// Strict mode still skips undecodable frames, as the
+			// historical reader did and as a gateway would; only the
+			// counters are new.
+			s.countParseError(err)
+			continue
+		}
+		p.Timestamp = ts
+		s.feedPacket(p)
+	}
+	s.closeFeed()
+	return nil
 }
 
 // replayPackets feeds packets into the monitor, optionally paced at
@@ -325,18 +641,17 @@ func replayPackets(s *server, pkts []*netparse.Packet, rate float64) {
 	var prev time.Time
 	for i, p := range pkts {
 		if rate > 0 && i > 0 {
-			gap := p.Timestamp.Sub(prev)
-			time.Sleep(time.Duration(float64(gap) / rate))
+			if gap := p.Timestamp.Sub(prev); gap > 0 {
+				time.Sleep(time.Duration(float64(gap) / rate))
+			}
 		}
 		prev = p.Timestamp
-		s.mu.Lock()
-		s.monitor.Feed(p)
-		s.mu.Unlock()
+		s.feedPacket(p)
 	}
 }
 
 func readPcap(path string) ([]*netparse.Packet, error) {
-	f, err := os.Open(path)
+	f, err := openWithRetry(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"behaviot/internal/chaos"
+	"behaviot/internal/core"
+	"behaviot/internal/datasets"
+	"behaviot/internal/flows"
+	"behaviot/internal/netparse"
+	"behaviot/internal/stream"
+	"behaviot/internal/testbed"
+)
+
+// newTestServer trains a minimal pipeline and wraps it in a daemon
+// server, the shared fixture for the ingest-robustness regressions.
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	tb := testbed.New()
+	devices := []*testbed.DeviceProfile{tb.Device("TPLink Plug"), tb.Device("Gosund Bulb")}
+	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices, 0)
+	pipe, err := core.Train(idle, map[string][]*flows.Flow{}, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("training fixture pipeline: %v", err)
+	}
+	srv := &server{started: time.Now()}
+	srv.monitor = stream.NewMonitor(pipe, flows.Config{
+		LocalPrefix: tb.LocalPrefix, DeviceByIP: tb.DeviceByIP(),
+	}, stream.Config{})
+	return srv
+}
+
+// writeCorruptedCapture generates a synthetic capture, damages ~rate of
+// its record bytes (sparing the file header), and writes it to a temp
+// file. Returns the path and the pristine packet count.
+func writeCorruptedCapture(t *testing.T, rate float64) (string, int) {
+	t.Helper()
+	tb := testbed.New()
+	g := testbed.NewGenerator(tb, 7)
+	dev := tb.Device("TPLink Plug")
+	start := datasets.DefaultStart.Add(3 * 24 * time.Hour)
+	pkts := testbed.MergePackets(
+		g.BootstrapDNS(dev, start.Add(-time.Minute)),
+		g.PeriodicWindow(dev, start, start.Add(2*time.Hour)),
+	)
+	var buf bytes.Buffer
+	if err := datasets.WritePcap(&buf, pkts); err != nil {
+		t.Fatalf("writing capture: %v", err)
+	}
+	raw := chaos.CorruptFile(buf.Bytes(), 24, rate, 42)
+	path := filepath.Join(t.TempDir(), "corrupt.pcap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, len(pkts)
+}
+
+// TestFeedCorruptedCaptureTolerant is the headline robustness
+// regression: a ~1%-corrupted capture fed through the tolerant path
+// must complete without error, deliver most of the traffic, and account
+// for the damage in the parse-error and dropped-record counters.
+func TestFeedCorruptedCaptureTolerant(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+
+	path, total := writeCorruptedCapture(t, 0.01)
+	srv := newTestServer(t)
+	srv.tolerant = true
+	if err := srv.feedPcapFile(path, 0); err != nil {
+		t.Fatalf("tolerant feed of corrupted capture failed: %v", err)
+	}
+
+	st := srv.monitor.Stats()
+	damage := srv.parseErrors.Load() + srv.skippedRecords.Load()
+	if damage == 0 {
+		t.Error("1% corruption produced no parse errors and no dropped records; counters are dead")
+	}
+	if st.Packets == 0 {
+		t.Error("no packets survived the tolerant feed; resync is not recovering")
+	}
+	if st.Packets+damage < int64(total)/2 {
+		t.Errorf("accounted for %d of %d records (fed %d, damaged %d); tolerant reader is losing sync",
+			st.Packets+damage, total, st.Packets, damage)
+	}
+	t.Logf("total=%d fed=%d parse_errors=%d dropped_records=%d skipped_bytes=%d",
+		total, st.Packets, srv.parseErrors.Load(), srv.skippedRecords.Load(), srv.skippedBytes.Load())
+}
+
+// TestFeedCorruptedCaptureStrictFails pins the pre-hardening contract:
+// without -tolerant, a damaged capture aborts the feed with an error
+// (which main turns into a nonzero exit) instead of silently munging.
+func TestFeedCorruptedCaptureStrictFails(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+
+	path, _ := writeCorruptedCapture(t, 0.01)
+	srv := newTestServer(t)
+	if err := srv.feedPcapFile(path, 0); err == nil {
+		t.Error("strict feed of corrupted capture returned nil; want a hard error")
+	}
+}
+
+// TestMetricsReportIngestDamage feeds the corrupted capture and asserts
+// the damage is visible on /metrics — the acceptance criterion for the
+// degrade-gracefully path.
+func TestMetricsReportIngestDamage(t *testing.T) {
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(os.Stderr)
+
+	path, _ := writeCorruptedCapture(t, 0.01)
+	srv := newTestServer(t)
+	srv.tolerant = true
+	srv.queue = stream.NewQueue(64, func(p *netparse.Packet) {
+		srv.mu.Lock()
+		srv.monitor.Feed(p)
+		srv.mu.Unlock()
+	})
+	if err := srv.feedPcapFile(path, 0); err != nil {
+		t.Fatalf("tolerant feed: %v", err)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	damage := metricValue(t, body, "behaviot_parse_errors_total") +
+		metricValue(t, body, "behaviot_dropped_records_total")
+	if damage == 0 {
+		t.Errorf("/metrics reports no parse errors or dropped records for a corrupted capture:\n%s", body)
+	}
+	if metricValue(t, body, "behaviot_packets_total") == 0 {
+		t.Errorf("/metrics reports zero packets; feed did not reach the monitor:\n%s", body)
+	}
+	if !strings.Contains(body, "behaviot_queue_dropped_total") {
+		t.Error("/metrics missing queue counters while -queue is active")
+	}
+
+	rec = httptest.NewRecorder()
+	srv.handleStatus(rec, httptest.NewRequest("GET", "/status", nil))
+	status := rec.Body.String()
+	if !strings.Contains(status, "parse_errors") || !strings.Contains(status, "dropped_records") {
+		t.Errorf("/status missing ingest-health counters:\n%s", status)
+	}
+}
+
+// metricValue extracts a counter value from Prometheus text exposition.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Errorf("metric %s not found in exposition", name)
+		return 0
+	}
+	n, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Errorf("metric %s: %v", name, err)
+	}
+	return n
+}
+
+// TestPreflightPcapRejectsUnreadable covers the startup contract: a
+// missing or malformed replay capture fails setup (and so the process)
+// with a descriptive error before the daemon starts serving.
+func TestPreflightPcapRejectsUnreadable(t *testing.T) {
+	if err := preflightPcap(filepath.Join(t.TempDir(), "nope.pcap")); err == nil {
+		t.Error("preflight accepted a nonexistent capture")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pcap")
+	if err := os.WriteFile(bad, []byte("this is not a pcap file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := preflightPcap(bad)
+	if err == nil {
+		t.Fatal("preflight accepted garbage as a capture")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("preflight error %q does not name the offending file", err)
+	}
+}

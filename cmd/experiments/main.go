@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiments: periodicity,table2,table3,table4,table5,table9,fig3,fig4a,fig4a5fold,fig4b,fig4c,deviationcases,fig5a,fig5b,headline,ablations")
+		run     = flag.String("run", "all", "comma-separated experiments: periodicity,table2,table3,table4,table5,table9,fig3,fig4a,fig4a5fold,fig4b,fig4c,deviationcases,fig5a,fig5b,headline,ablations,impairment")
 		quick   = flag.Bool("quick", false, "use reduced-scale datasets")
 		days    = flag.Int("days", 87, "uncontrolled study length for fig5")
 		seed    = flag.Int64("seed", 2021, "generation seed")
@@ -133,6 +133,17 @@ func main() {
 	}
 	if selected("ablations") {
 		section("Ablations", func() fmt.Stringer { return experiments.Ablations(getLab()) })
+		ran++
+	}
+	if selected("impairment") {
+		section("Impairment sweep", func() fmt.Stringer {
+			r, err := experiments.Impairment(getLab())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "impairment sweep: %v\n", err)
+				os.Exit(1)
+			}
+			return r
+		})
 		ran++
 	}
 	if ran == 0 {

@@ -1,0 +1,177 @@
+// Package chaos is a deterministic, seeded capture-impairment layer: a
+// set of composable operators over pcap record streams that reproduce
+// the ways real gateway captures go wrong — packet loss, duplication,
+// bounded reordering, truncation, byte corruption, clock skew and
+// drift, and burst loss from gateway buffer overflow.
+//
+// It mirrors the trace-level perturbation operators of
+// internal/datasets/perturb.go one layer down, at the wire: where
+// perturb.go asks "does the deviation model survive a corrupted *event
+// sequence*", chaos asks "does the whole ingest path — pcap framing,
+// frame decoding, flow assembly, classification — survive a corrupted
+// *capture*". The impairment-sweep experiment (internal/experiments)
+// and the behaviotd robustness tests are the consumers.
+//
+// Determinism contract: an operator's output is a pure function of
+// (input records, seed). Every operator draws from its own sub-seeded
+// RNG — derived from the chain seed, the operator's position, and its
+// name — so inserting or removing one operator never perturbs the
+// random stream of the others, and applying the same chain to the same
+// records always yields byte-identical output. Operators never mutate
+// the input records or alias-and-modify their Data; callers may share
+// input slices freely across worker goroutines.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"behaviot/internal/pcapio"
+)
+
+// Op is one impairment operator. Apply returns the impaired copy of
+// recs, drawing all randomness from rng; it must not mutate recs or
+// write through any record's Data slice.
+type Op interface {
+	// Name identifies the operator in sub-seed derivation and reports.
+	Name() string
+	// Apply impairs the stream.
+	Apply(rng *rand.Rand, recs []pcapio.Record) []pcapio.Record
+}
+
+// Chain composes operators in order, giving each a decorrelated
+// sub-seeded RNG. The zero chain (no ops) is the identity.
+type Chain struct {
+	Seed int64
+	Ops  []Op
+}
+
+// Apply runs every operator in sequence over recs.
+func (c Chain) Apply(recs []pcapio.Record) []pcapio.Record {
+	out := recs
+	for i, op := range c.Ops {
+		rng := rand.New(&splitmix{x: uint64(SubSeed(c.Seed, fmt.Sprintf("op%d", i), op.Name()))})
+		out = op.Apply(rng, out)
+	}
+	return out
+}
+
+// SubSeed derives an independent sub-seed from seed and a name path
+// (seed ⊕ FNV-1a hash, the same splittable-RNG scheme as
+// internal/testbed.SubSeed): identical inputs always yield the same
+// sub-seed, distinct paths yield decorrelated streams.
+func SubSeed(seed int64, parts ...string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0x1F // path separator so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	return seed ^ int64(h)
+}
+
+// splitmix is a tiny splitmix64 rand.Source64 (O(1) seeding; the
+// default math/rand source spends microseconds filling a 607-word
+// state array per operator).
+type splitmix struct{ x uint64 }
+
+func (s *splitmix) Seed(seed int64) { s.x = uint64(seed) }
+func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix) Uint64() uint64 {
+	s.x += 0x9E3779B97F4A7C15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Config bundles one knob per operator; zero values disable an
+// operator entirely, so the zero Config is the identity impairment.
+type Config struct {
+	// DropRate drops each record independently with this probability.
+	DropRate float64
+	// BurstRate starts a burst loss (gateway buffer overflow) at each
+	// record with this probability; BurstLen is the mean burst length
+	// in records (default 8 when a burst rate is set).
+	BurstRate float64
+	BurstLen  int
+	// DuplicateRate delivers a record twice with this probability.
+	DuplicateRate float64
+	// ReorderRate displaces a record by up to ReorderWindow positions
+	// (default window 4 when a reorder rate is set).
+	ReorderRate   float64
+	ReorderWindow int
+	// TruncateRate cuts a record's bytes short with this probability,
+	// as a too-small snaplen or a mid-record capture stop would.
+	TruncateRate float64
+	// CorruptRate flips up to CorruptBytes random bytes (default 4) in
+	// a record with this probability.
+	CorruptRate  float64
+	CorruptBytes int
+	// Skew shifts every capture timestamp by a constant offset
+	// (gateway clock stepped against the devices).
+	Skew time.Duration
+	// DriftPPM stretches inter-record gaps by parts-per-million
+	// (gateway clock running fast or slow).
+	DriftPPM float64
+}
+
+// Ops materializes the configured operators in wire order: clock
+// effects first (they model the capture clock, before any queueing),
+// then losses, duplication, reordering, and finally per-record damage.
+func (c Config) Ops() []Op {
+	var ops []Op
+	if c.Skew != 0 {
+		ops = append(ops, Skew{Offset: c.Skew})
+	}
+	//lint:ignore floateq exact zero means the drift knob is unset
+	if c.DriftPPM != 0 {
+		ops = append(ops, Drift{PPM: c.DriftPPM})
+	}
+	if c.BurstRate > 0 {
+		n := c.BurstLen
+		if n <= 0 {
+			n = 8
+		}
+		ops = append(ops, BurstLoss{Rate: c.BurstRate, MeanLen: n})
+	}
+	if c.DropRate > 0 {
+		ops = append(ops, Drop{Rate: c.DropRate})
+	}
+	if c.DuplicateRate > 0 {
+		ops = append(ops, Duplicate{Rate: c.DuplicateRate})
+	}
+	if c.ReorderRate > 0 {
+		w := c.ReorderWindow
+		if w <= 0 {
+			w = 4
+		}
+		ops = append(ops, Reorder{Rate: c.ReorderRate, Window: w})
+	}
+	if c.TruncateRate > 0 {
+		ops = append(ops, Truncate{Rate: c.TruncateRate})
+	}
+	if c.CorruptRate > 0 {
+		n := c.CorruptBytes
+		if n <= 0 {
+			n = 4
+		}
+		ops = append(ops, Corrupt{Rate: c.CorruptRate, MaxBytes: n})
+	}
+	return ops
+}
+
+// Impair applies the configured impairments to recs under seed. A zero
+// Config returns recs unchanged (the identity property the regression
+// tests pin).
+func Impair(recs []pcapio.Record, seed int64, cfg Config) []pcapio.Record {
+	return Chain{Seed: seed, Ops: cfg.Ops()}.Apply(recs)
+}

@@ -1,0 +1,255 @@
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"behaviot/internal/pcapio"
+)
+
+// Drop removes each record independently with probability Rate,
+// modeling random packet loss on the capture tap.
+type Drop struct{ Rate float64 }
+
+// Name implements Op.
+func (Drop) Name() string { return "drop" }
+
+// Apply implements Op.
+func (d Drop) Apply(rng *rand.Rand, recs []pcapio.Record) []pcapio.Record {
+	if d.Rate <= 0 {
+		return recs
+	}
+	out := make([]pcapio.Record, 0, len(recs))
+	for _, r := range recs {
+		if rng.Float64() < d.Rate {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// BurstLoss drops runs of consecutive records: at every record a burst
+// begins with probability Rate and then persists with probability
+// 1-1/MeanLen per record (geometric length, mean MeanLen). This is the
+// signature of a gateway capture buffer overflowing under load — libpcap
+// drops contiguous spans, not independent samples.
+type BurstLoss struct {
+	Rate    float64
+	MeanLen int
+}
+
+// Name implements Op.
+func (BurstLoss) Name() string { return "burstloss" }
+
+// Apply implements Op.
+func (b BurstLoss) Apply(rng *rand.Rand, recs []pcapio.Record) []pcapio.Record {
+	if b.Rate <= 0 || b.MeanLen <= 0 {
+		return recs
+	}
+	cont := 1 - 1/float64(b.MeanLen)
+	out := make([]pcapio.Record, 0, len(recs))
+	inBurst := false
+	for _, r := range recs {
+		if inBurst {
+			if rng.Float64() < cont {
+				continue // burst persists, record lost
+			}
+			inBurst = false
+		} else if rng.Float64() < b.Rate {
+			inBurst = true
+			continue // first record of the burst is lost too
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Duplicate delivers a record twice with probability Rate (a capture
+// tap seeing both switch ports, or a retransmit landing inside the
+// same burst).
+type Duplicate struct{ Rate float64 }
+
+// Name implements Op.
+func (Duplicate) Name() string { return "duplicate" }
+
+// Apply implements Op.
+func (d Duplicate) Apply(rng *rand.Rand, recs []pcapio.Record) []pcapio.Record {
+	if d.Rate <= 0 {
+		return recs
+	}
+	out := make([]pcapio.Record, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, r)
+		if rng.Float64() < d.Rate {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Reorder displaces each record, with probability Rate, by up to
+// Window positions forward in delivery order (a multi-queue NIC or a
+// userspace ring draining out of order). Capture timestamps are kept
+// with their records, so consumers observe genuinely non-monotonic
+// time — exactly what the tolerant ingest path must absorb.
+type Reorder struct {
+	Rate   float64
+	Window int
+}
+
+// Name implements Op.
+func (Reorder) Name() string { return "reorder" }
+
+// Apply implements Op.
+func (r Reorder) Apply(rng *rand.Rand, recs []pcapio.Record) []pcapio.Record {
+	if r.Rate <= 0 || r.Window <= 0 {
+		return recs
+	}
+	type keyed struct {
+		key int
+		rec pcapio.Record
+	}
+	ks := make([]keyed, len(recs))
+	for i, rec := range recs {
+		k := i
+		if rng.Float64() < r.Rate {
+			k += 1 + rng.Intn(r.Window)
+		}
+		ks[i] = keyed{key: k, rec: rec}
+	}
+	sort.SliceStable(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]pcapio.Record, len(ks))
+	for i, k := range ks {
+		out[i] = k.rec
+	}
+	return out
+}
+
+// Truncate cuts a record's bytes short with probability Rate, keeping
+// a uniform prefix of at least 14 bytes (the Ethernet header) when the
+// record is long enough — the shape of a snaplen that is too small or
+// a capture stopped mid-record.
+type Truncate struct{ Rate float64 }
+
+// Name implements Op.
+func (Truncate) Name() string { return "truncate" }
+
+// Apply implements Op.
+func (t Truncate) Apply(rng *rand.Rand, recs []pcapio.Record) []pcapio.Record {
+	if t.Rate <= 0 {
+		return recs
+	}
+	out := make([]pcapio.Record, len(recs))
+	for i, r := range recs {
+		out[i] = r
+		if len(r.Data) < 2 || rng.Float64() >= t.Rate {
+			continue
+		}
+		min := 14
+		if min >= len(r.Data) {
+			min = 1
+		}
+		keep := min + rng.Intn(len(r.Data)-min)
+		out[i].Data = r.Data[:keep]
+	}
+	return out
+}
+
+// Corrupt flips 1..MaxBytes random bytes of a record with probability
+// Rate (bit rot on a flaky tap or a DMA race). Damaged records get a
+// fresh Data copy; clean records alias the input.
+type Corrupt struct {
+	Rate     float64
+	MaxBytes int
+}
+
+// Name implements Op.
+func (Corrupt) Name() string { return "corrupt" }
+
+// Apply implements Op.
+func (c Corrupt) Apply(rng *rand.Rand, recs []pcapio.Record) []pcapio.Record {
+	if c.Rate <= 0 || c.MaxBytes <= 0 {
+		return recs
+	}
+	out := make([]pcapio.Record, len(recs))
+	for i, r := range recs {
+		out[i] = r
+		if len(r.Data) == 0 || rng.Float64() >= c.Rate {
+			continue
+		}
+		data := append([]byte(nil), r.Data...)
+		n := 1 + rng.Intn(c.MaxBytes)
+		for j := 0; j < n; j++ {
+			pos := rng.Intn(len(data))
+			data[pos] ^= byte(1 + rng.Intn(255)) // never a zero flip
+		}
+		out[i].Data = data
+	}
+	return out
+}
+
+// Skew shifts every capture timestamp by a constant offset: the
+// gateway clock stepped (e.g. an NTP correction) relative to reality.
+type Skew struct{ Offset time.Duration }
+
+// Name implements Op.
+func (Skew) Name() string { return "skew" }
+
+// Apply implements Op.
+func (s Skew) Apply(_ *rand.Rand, recs []pcapio.Record) []pcapio.Record {
+	if s.Offset == 0 {
+		return recs
+	}
+	out := make([]pcapio.Record, len(recs))
+	for i, r := range recs {
+		out[i] = r
+		out[i].Time = r.Time.Add(s.Offset)
+	}
+	return out
+}
+
+// Drift stretches the gap between each record and the first by PPM
+// parts-per-million: a capture clock running fast (positive) or slow
+// (negative), accumulating error over the capture.
+type Drift struct{ PPM float64 }
+
+// Name implements Op.
+func (Drift) Name() string { return "drift" }
+
+// Apply implements Op.
+func (d Drift) Apply(_ *rand.Rand, recs []pcapio.Record) []pcapio.Record {
+	//lint:ignore floateq exact zero means the drift knob is unset
+	if d.PPM == 0 || len(recs) == 0 {
+		return recs
+	}
+	base := recs[0].Time
+	out := make([]pcapio.Record, len(recs))
+	for i, r := range recs {
+		out[i] = r
+		gap := r.Time.Sub(base)
+		out[i].Time = base.Add(gap + time.Duration(float64(gap)*d.PPM/1e6))
+	}
+	return out
+}
+
+// CorruptFile flips bytes of a raw pcap *file* image (headers
+// included, after the skip prefix) with the given per-byte rate —
+// framing-level damage that exercises the tolerant reader's resync
+// path, as opposed to Corrupt, which only damages packet payloads and
+// leaves record framing intact. Pass skip=24 to preserve the file
+// header, or 0 to let even the magic number take damage.
+func CorruptFile(raw []byte, skip int, rate float64, seed int64) []byte {
+	out := append([]byte(nil), raw...)
+	if rate <= 0 || skip >= len(out) {
+		return out
+	}
+	rng := rand.New(&splitmix{x: uint64(SubSeed(seed, "corruptfile"))})
+	for i := skip; i < len(out); i++ {
+		if rng.Float64() < rate {
+			out[i] ^= byte(1 + rng.Intn(255))
+		}
+	}
+	return out
+}

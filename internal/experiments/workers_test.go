@@ -39,6 +39,13 @@ func TestExperimentsWorkerEquivalent(t *testing.T) {
 		{"fig4a5fold", func(l *Lab) string { return Fig4aKFold(l, 5).String() }},
 		{"fig5", func(l *Lab) string { return Fig5(l, 3).String() }},
 		{"ablations", func(l *Lab) string { return Ablations(l).String() }},
+		{"impairment", func(l *Lab) string {
+			r, err := Impairment(l)
+			if err != nil {
+				t.Fatalf("impairment sweep: %v", err)
+			}
+			return r.String()
+		}},
 	}
 	for _, c := range checks {
 		a := c.run(serial)

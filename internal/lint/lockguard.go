@@ -15,14 +15,23 @@ import (
 // held. The analyzer reports any read or write of a guarded field in a
 // method on the same struct that never locks the declared mutex.
 //
-// The check is method-granular, matching how the convention is used: a
-// method either takes the lock (Lock/RLock anywhere in its body,
+// The check is function-granular, matching how the convention is used:
+// a function either takes the lock (Lock/RLock anywhere in its body,
 // including defer) or it documents, via a name ending in "Locked", that
 // its callers hold it. It does not model cross-function flow, so
 // helpers invoked with the lock held should use the Locked suffix.
+//
+// Besides methods on the guarded struct, the analyzer checks free
+// functions that receive a guarded struct through a parameter (the
+// setup-helper pattern: `setupSimulator(srv *server, ...)` writing
+// `srv.monitor`). A function that runs before any concurrent goroutine
+// exists — so unlocked writes are ordered by the goroutine spawn — can
+// opt out by saying "pre-spawn" in its doc comment:
+//
+//	// setupReplay wires the monitor; pre-spawn, so no locks are held.
 var LockGuard = &Analyzer{
 	Name: "lockguard",
-	Doc:  "report guarded-field access in methods that never lock the guarding mutex",
+	Doc:  "report guarded-field access in functions that never lock the guarding mutex",
 	Run:  runLockGuard,
 }
 
@@ -55,21 +64,44 @@ func runLockGuard(pkg *Package) []Finding {
 		}
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) != 1 {
-				continue
-			}
-			spec, ok := specs[recvTypeName(fn.Recv.List[0].Type)]
-			if !ok {
+			if !ok || fn.Body == nil {
 				continue
 			}
 			if strings.HasSuffix(fn.Name.Name, "Locked") {
 				continue // documented as "caller holds the lock"
 			}
-			recv := recvName(fn.Recv.List[0])
-			if recv == "" {
+			if fn.Recv != nil {
+				if len(fn.Recv.List) != 1 {
+					continue
+				}
+				spec, ok := specs[recvTypeName(fn.Recv.List[0].Type)]
+				if !ok {
+					continue
+				}
+				recv := recvName(fn.Recv.List[0])
+				if recv == "" {
+					continue
+				}
+				out = append(out, checkMethod(pkg, fn, recv, spec)...)
 				continue
 			}
-			out = append(out, checkMethod(pkg, fn, recv, spec)...)
+			// Free function: check every parameter of a guarded struct
+			// type, unless the function declares itself pre-spawn.
+			if isPreSpawn(fn) {
+				continue
+			}
+			for _, param := range fn.Type.Params.List {
+				spec, ok := specs[recvTypeName(param.Type)]
+				if !ok {
+					continue
+				}
+				for _, name := range param.Names {
+					if name.Name == "_" {
+						continue
+					}
+					out = append(out, checkMethod(pkg, fn, name.Name, spec)...)
+				}
+			}
 		}
 	}
 	return out
@@ -168,8 +200,17 @@ func recvName(f *ast.Field) string {
 	return f.Names[0].Name
 }
 
+// isPreSpawn reports whether a free function's doc comment declares it
+// pre-spawn: it runs before any concurrent goroutine exists, so the
+// goroutine spawn orders its unlocked writes and the guards do not
+// apply yet.
+func isPreSpawn(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && strings.Contains(fn.Doc.Text(), "pre-spawn")
+}
+
 // checkMethod reports guarded-field accesses whose guarding mutex is
-// never locked anywhere in the method body.
+// never locked anywhere in the function body; recv is the receiver or
+// parameter name the guarded struct is bound to.
 func checkMethod(pkg *Package, fn *ast.FuncDecl, recv string, spec *guardSpec) []Finding {
 	locked := map[string]bool{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -208,7 +249,7 @@ func checkMethod(pkg *Package, fn *ast.FuncDecl, recv string, spec *guardSpec) [
 			return true
 		}
 		out = append(out, finding(pkg, "lockguard", sel.Pos(),
-			"%s.%s is guarded by %s (per its guards comment) but method %s never locks it; lock %s, rename the method with a Locked suffix, or //lint:ignore lockguard <reason>",
+			"%s.%s is guarded by %s (per its guards comment) but %s never locks it; lock %s, rename the function with a Locked suffix, mark it pre-spawn, or //lint:ignore lockguard <reason>",
 			recv, sel.Sel.Name, mutex, fn.Name.Name, mutex))
 		return true
 	})

@@ -1,0 +1,124 @@
+// Native fuzz targets for the wire-format decoders, seeded from the
+// testbed's own encoders so the corpus starts at valid frames and the
+// fuzzer mutates toward the interesting malformations (bad IPv4 length
+// fields, DNS compression-pointer loops, truncated TLS extensions).
+// They live in an external test package so they can lean on the
+// generator for realistic seeds without an import cycle.
+//
+// CI runs each target briefly (see the fuzz-smoke job); longer local
+// runs: go test -fuzz=FuzzDecode -fuzztime=60s ./internal/netparse/
+package netparse_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"behaviot/internal/netparse"
+	"behaviot/internal/testbed"
+)
+
+// seedFrames collects wire frames from the testbed generator: real
+// device traffic (DNS, TLS, NTP, heartbeats) as produced by Encode.
+func seedFrames(tb testing.TB) [][]byte {
+	t := testbed.New()
+	g := testbed.NewGenerator(t, 1)
+	dev := t.Device("TPLink Plug")
+	start := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	pkts := testbed.MergePackets(
+		g.BootstrapDNS(dev, start),
+		g.PeriodicWindow(dev, start, start.Add(10*time.Minute)),
+	)
+	var frames [][]byte
+	for _, p := range pkts {
+		raw, err := netparse.Encode(p)
+		if err != nil {
+			tb.Fatalf("encoding seed frame: %v", err)
+		}
+		frames = append(frames, raw)
+	}
+	return frames
+}
+
+// FuzzDecode asserts the frame decoder never panics and always returns
+// a classified *ParseError on failure.
+func FuzzDecode(f *testing.F) {
+	for i, frame := range seedFrames(f) {
+		if i >= 32 {
+			break
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	// IPv4 header with total length < IHL — the malformed-length class.
+	f.Add(append(make([]byte, 12), 0x08, 0x00, 0x46, 0x00, 0x00, 0x10))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := netparse.Decode(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("Decode returned both a packet and an error")
+			}
+			var pe *netparse.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Decode error %v is not a *ParseError", err)
+			}
+			if c := netparse.ErrorClass(err); c == "" || c == "other" {
+				t.Fatalf("Decode error %v has unclassified class %q", err, c)
+			}
+			return
+		}
+		if len(p.Payload) > len(data) {
+			t.Fatalf("payload longer than frame: %d > %d", len(p.Payload), len(data))
+		}
+	})
+}
+
+// FuzzDecodeDNS asserts the DNS decoder never panics or loops on
+// hostile compression pointers, and that successful decodes re-encode.
+func FuzzDecodeDNS(f *testing.F) {
+	if raw, err := netparse.EncodeDNS(&netparse.DNSMessage{
+		ID:        7,
+		Questions: []netparse.DNSQuestion{{Name: "api.device.example.com", Type: netparse.DNSTypeA, Class: netparse.DNSClassIN}},
+	}); err == nil {
+		f.Add(raw)
+	}
+	// Self-referential compression pointer: the loop the hop guard kills.
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1})
+	// Pointer chain bouncing between two offsets.
+	f.Add([]byte{0, 2, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0E, 0, 0, 0xC0, 0x0C})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			m, err := netparse.DecodeDNS(data)
+			if err != nil {
+				return
+			}
+			for _, q := range m.Questions {
+				if len(q.Name) > len(data)*4 {
+					t.Errorf("question name %d bytes from a %d-byte message", len(q.Name), len(data))
+				}
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("DecodeDNS did not terminate (compression loop?)")
+		}
+	})
+}
+
+// FuzzExtractSNI asserts the ClientHello scanner never panics and only
+// returns names that are substrings of the record.
+func FuzzExtractSNI(f *testing.F) {
+	var random [32]byte
+	f.Add(netparse.EncodeClientHello("iot.vendor-cloud.example.com", random))
+	f.Add(netparse.EncodeClientHello("", random))
+	f.Add([]byte{22, 3, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		name, err := netparse.ExtractSNI(data)
+		if err == nil && len(name) > len(data) {
+			t.Fatalf("SNI %q longer than the record", name)
+		}
+	})
+}

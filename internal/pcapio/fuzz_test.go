@@ -1,0 +1,88 @@
+// Native fuzz target for the pcap reader, seeded with pristine and
+// chaos-corrupted capture images. The tolerant path's contract under
+// fuzzing: always terminate, always make progress, end in io.EOF, and
+// account every skipped byte — whatever the input.
+//
+// Longer local runs: go test -fuzz=FuzzPcapReader -fuzztime=60s ./internal/pcapio/
+package pcapio_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"behaviot/internal/chaos"
+	"behaviot/internal/pcapio"
+)
+
+// seedCapture renders a small valid capture image.
+func seedCapture(f *testing.F, nano bool) []byte {
+	var buf bytes.Buffer
+	var w *pcapio.Writer
+	var err error
+	if nano {
+		w, err = pcapio.NewNanoWriter(&buf)
+	} else {
+		w, err = pcapio.NewWriter(&buf)
+	}
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := time.Date(2021, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 12; i++ {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second),
+			bytes.Repeat([]byte{byte(i)}, 30+i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzPcapReader drives both reader modes over arbitrary file images.
+func FuzzPcapReader(f *testing.F) {
+	clean := seedCapture(f, false)
+	f.Add(clean)
+	f.Add(seedCapture(f, true))
+	f.Add(chaos.CorruptFile(clean, 24, 0.05, 7))
+	f.Add(clean[:len(clean)-5])
+	f.Add([]byte("not a capture at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, tolerant := range []bool{false, true} {
+			r, err := pcapio.NewReader(bytes.NewReader(data))
+			if err != nil {
+				continue // bad magic/header: rejected up front in both modes
+			}
+			r.SetTolerant(tolerant)
+			records := 0
+			for {
+				_, pkt, err := r.ReadPacket()
+				if err != nil {
+					if tolerant && !errors.Is(err, io.EOF) {
+						t.Fatalf("tolerant reader returned a hard error: %v", err)
+					}
+					break
+				}
+				if len(pkt) > pcapio.MaxSnapLen {
+					t.Fatalf("reader returned a %d-byte packet past MaxSnapLen", len(pkt))
+				}
+				records++
+				// Each record consumes ≥16 header bytes, so this bounds
+				// any infinite-loop regression.
+				if records > len(data)/16+1 {
+					t.Fatalf("read %d records from a %d-byte image", records, len(data))
+				}
+			}
+			if skipped := r.SkippedBytes(); skipped > int64(len(data)) {
+				t.Fatalf("skipped %d bytes of a %d-byte image", skipped, len(data))
+			}
+			if !tolerant && r.Skipped() != 0 {
+				t.Fatalf("strict reader counted %d skips", r.Skipped())
+			}
+		}
+	})
+}

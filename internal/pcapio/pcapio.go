@@ -190,13 +190,32 @@ func (h *mergeHeap) Pop() any {
 }
 
 // Reader reads packets from a pcap stream. Create with NewReader.
+//
+// By default the reader is strict: a corrupt or truncated record aborts
+// the read with an error. SetTolerant switches it to the
+// degrade-gracefully mode the live ingest path uses: implausible record
+// headers trigger a byte-wise resync to the next plausible record,
+// truncated tails end the stream cleanly, and Skipped reports how many
+// times damage was skipped over.
 type Reader struct {
 	r        *bufio.Reader
 	order    binary.ByteOrder
 	nanos    bool
 	linkType LinkType
 	snapLen  uint32
+
+	tolerant     bool
+	skipped      int64
+	skippedBytes int64
+	lastSec      int64
+	gotRecord    bool
 }
+
+// resyncMaxSkew bounds, in seconds, how far a record timestamp may sit
+// from its predecessor and still look plausible during tolerant
+// resync. Two days absorbs any real capture gap while rejecting the
+// essentially uniform garbage a corrupted length field points at.
+const resyncMaxSkew = 2 * 24 * 60 * 60
 
 // NewReader parses the pcap file header from r.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -234,29 +253,117 @@ func (r *Reader) LinkType() LinkType { return r.linkType }
 // SnapLen returns the capture's snapshot length.
 func (r *Reader) SnapLen() uint32 { return r.snapLen }
 
+// SetTolerant switches the reader between strict (default) and
+// degrade-gracefully reading. In tolerant mode a record with an
+// implausible header is skipped by resyncing to the next plausible
+// one, and a truncated trailing record ends the stream with io.EOF
+// instead of ErrTruncated; every piece of damage skipped increments
+// the Skipped counter.
+func (r *Reader) SetTolerant(on bool) { r.tolerant = on }
+
+// Skipped returns how many damaged stretches (implausible record
+// headers resynced past, truncated tails discarded) the tolerant
+// reader has skipped. Always zero in strict mode.
+func (r *Reader) Skipped() int64 { return r.skipped }
+
+// SkippedBytes returns how many bytes tolerant resyncs discarded.
+func (r *Reader) SkippedBytes() int64 { return r.skippedBytes }
+
 // ReadPacket returns the next packet record. It returns io.EOF cleanly at
-// the end of the stream and ErrTruncated for a partial trailing record.
+// the end of the stream and, in strict mode, ErrTruncated for a partial
+// trailing record; in tolerant mode damage is skipped and counted.
 func (r *Reader) ReadPacket() (ts time.Time, data []byte, err error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return time.Time{}, nil, io.EOF
+	resyncing := false
+	for {
+		hdr, err := r.r.Peek(16)
+		if len(hdr) < 16 {
+			if len(hdr) == 0 {
+				if err == nil || errors.Is(err, io.EOF) {
+					return time.Time{}, nil, io.EOF
+				}
+				return time.Time{}, nil, err
+			}
+			// Partial trailing header.
+			if r.tolerant {
+				r.countSkip(len(hdr))
+				// Consume the stub so a repeated call cannot re-count it.
+				if _, derr := r.r.Discard(len(hdr)); derr != nil && !errors.Is(derr, io.EOF) {
+					return time.Time{}, nil, derr
+				}
+				return time.Time{}, nil, io.EOF
+			}
+			return time.Time{}, nil, ErrTruncated
 		}
-		return time.Time{}, nil, ErrTruncated
+		sec := r.order.Uint32(hdr[0:4])
+		sub := r.order.Uint32(hdr[4:8])
+		capLen := r.order.Uint32(hdr[8:12])
+		origLen := r.order.Uint32(hdr[12:16])
+		if !r.plausibleHeader(sec, capLen, origLen) {
+			if !r.tolerant {
+				return time.Time{}, nil, fmt.Errorf("%w: capture length %d", ErrPacketTooBig, capLen)
+			}
+			// Resync: slide one byte and try again. Consecutive slides
+			// count as a single skipped stretch.
+			if !resyncing {
+				resyncing = true
+				r.skipped++
+			}
+			r.skippedBytes++
+			if _, err := r.r.Discard(1); err != nil {
+				return time.Time{}, nil, io.EOF
+			}
+			continue
+		}
+		if _, err := r.r.Discard(16); err != nil {
+			return time.Time{}, nil, err // cannot happen: Peek succeeded
+		}
+		data = make([]byte, capLen)
+		if n, err := io.ReadFull(r.r, data); err != nil {
+			if r.tolerant {
+				// Truncated tail: there is no byte stream left to
+				// resync into, so end cleanly. The header and partial
+				// data were already consumed — only count them.
+				r.countSkip(16 + n)
+				return time.Time{}, nil, io.EOF
+			}
+			return time.Time{}, nil, ErrTruncated
+		}
+		r.lastSec, r.gotRecord = int64(sec), true
+		nanos := int64(sub)
+		if !r.nanos {
+			nanos *= 1000
+		}
+		return time.Unix(int64(sec), nanos).UTC(), data, nil
 	}
-	sec := r.order.Uint32(hdr[0:4])
-	sub := r.order.Uint32(hdr[4:8])
-	capLen := r.order.Uint32(hdr[8:12])
+}
+
+// plausibleHeader applies the strict bound (capLen within the snap
+// length) plus, in tolerant mode, the resync heuristics that separate
+// real record headers from corrupted-length garbage: the original
+// length must be in range and no smaller than the captured length, the
+// sub-second field must fit its resolution, and the timestamp must sit
+// within resyncMaxSkew of the previous good record.
+func (r *Reader) plausibleHeader(sec, capLen, origLen uint32) bool {
 	if capLen > MaxSnapLen {
-		return time.Time{}, nil, fmt.Errorf("%w: capture length %d", ErrPacketTooBig, capLen)
+		return false
 	}
-	data = make([]byte, capLen)
-	if _, err := io.ReadFull(r.r, data); err != nil {
-		return time.Time{}, nil, ErrTruncated
+	if !r.tolerant {
+		return true // strict mode keeps the historical single check
 	}
-	nanos := int64(sub)
-	if !r.nanos {
-		nanos *= 1000
+	if origLen > MaxSnapLen || origLen < capLen {
+		return false
 	}
-	return time.Unix(int64(sec), nanos).UTC(), data, nil
+	if r.gotRecord {
+		d := int64(sec) - r.lastSec
+		if d < -resyncMaxSkew || d > resyncMaxSkew {
+			return false
+		}
+	}
+	return true
+}
+
+// countSkip counts n bytes of trailing damage as one skipped stretch.
+func (r *Reader) countSkip(n int) {
+	r.skipped++
+	r.skippedBytes += int64(n)
 }

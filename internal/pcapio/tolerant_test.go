@@ -1,0 +1,200 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// writeTestCapture renders n small records to a pcap file image and
+// returns the raw bytes plus the payloads written.
+func writeTestCapture(t *testing.T, n int) ([]byte, [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2021, 8, 1, 0, 0, 0, 0, time.UTC)
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := bytes.Repeat([]byte{byte(i + 1)}, 40+i%13)
+		payloads = append(payloads, p)
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Second), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), payloads
+}
+
+// readAll drains a reader, returning payloads read and the terminal
+// error (io.EOF on clean end).
+func readAll(r *Reader) ([][]byte, error) {
+	var out [][]byte
+	for {
+		_, data, err := r.ReadPacket()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, data)
+	}
+}
+
+// TestTolerantResyncsPastBlownHeader damages one record header so its
+// capture length claims more bytes than the whole file. Strict reading
+// must abort; tolerant reading must skip the damaged stretch, resync on
+// the next valid header, and count exactly one dropped record.
+func TestTolerantResyncsPastBlownHeader(t *testing.T) {
+	raw, payloads := writeTestCapture(t, 10)
+
+	// Record 3's header starts after the 24-byte file header and three
+	// (16-byte header + payload) records; blow up its capLen field.
+	off := 24
+	for i := 0; i < 3; i++ {
+		off += 16 + len(payloads[i])
+	}
+	bad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(bad[off+8:off+12], 0xFFFFFFFF)
+
+	strict, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := readAll(strict); errors.Is(err, io.EOF) {
+		t.Errorf("strict reader read %d records from a damaged capture without error", len(got))
+	}
+
+	tol, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol.SetTolerant(true)
+	got, err := readAll(tol)
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("tolerant reader: %v", err)
+	}
+	// Records 0-2 and 4-9 survive; record 3 (whose header was blown) is
+	// consumed by the resync scan.
+	want := append(append([][]byte(nil), payloads[:3]...), payloads[4:]...)
+	if len(got) != len(want) {
+		t.Fatalf("tolerant reader recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("recovered record %d mismatch", i)
+		}
+	}
+	if tol.Skipped() != 1 {
+		t.Errorf("Skipped() = %d, want 1 damaged stretch", tol.Skipped())
+	}
+	if tol.SkippedBytes() == 0 {
+		t.Error("SkippedBytes() = 0 after a resync scan")
+	}
+}
+
+// TestTolerantRejectsWildTimestamps verifies the resync heuristic: a
+// header whose timestamp jumps years away from the previous good record
+// is treated as damage even when its lengths look plausible.
+func TestTolerantRejectsWildTimestamps(t *testing.T) {
+	raw, payloads := writeTestCapture(t, 6)
+	off := 24
+	for i := 0; i < 2; i++ {
+		off += 16 + len(payloads[i])
+	}
+	bad := append([]byte(nil), raw...)
+	// Corrupt record 2's timestamp seconds to ~2033 but keep lengths valid.
+	binary.LittleEndian.PutUint32(bad[off:off+4], 2e9)
+
+	tol, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol.SetTolerant(true)
+	got, err := readAll(tol)
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("tolerant reader: %v", err)
+	}
+	if len(got) >= len(payloads) {
+		t.Errorf("recovered %d records; the wild-timestamp record should have been skipped", len(got))
+	}
+	if tol.Skipped() == 0 {
+		t.Error("wild timestamp not counted as a skipped stretch")
+	}
+}
+
+// TestTolerantTruncatedTail verifies a capture cut mid-record (the
+// classic power-loss artifact) yields every complete record, a clean
+// EOF, and a counted skip — while strict reading reports ErrTruncated.
+func TestTolerantTruncatedTail(t *testing.T) {
+	raw, payloads := writeTestCapture(t, 5)
+	cut := raw[:len(raw)-7] // sever the last record's payload
+
+	strict, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readAll(strict); !errors.Is(err, ErrTruncated) {
+		t.Errorf("strict reader on truncated capture: %v, want ErrTruncated", err)
+	}
+
+	tol, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol.SetTolerant(true)
+	got, err := readAll(tol)
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("tolerant reader on truncated capture: %v, want io.EOF", err)
+	}
+	if len(got) != len(payloads)-1 {
+		t.Errorf("recovered %d complete records, want %d", len(got), len(payloads)-1)
+	}
+	if tol.Skipped() == 0 {
+		t.Error("truncated tail not counted as skipped")
+	}
+}
+
+// TestTolerantCleanCaptureUntouched verifies tolerance costs nothing on
+// a pristine capture: identical records, zero skips.
+func TestTolerantCleanCaptureUntouched(t *testing.T) {
+	raw, payloads := writeTestCapture(t, 8)
+	tol, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol.SetTolerant(true)
+	got, err := readAll(tol)
+	if !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("read %d records, want %d", len(got), len(payloads))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+	if tol.Skipped() != 0 || tol.SkippedBytes() != 0 {
+		t.Errorf("clean capture counted skips: %d records, %d bytes", tol.Skipped(), tol.SkippedBytes())
+	}
+}
+
+// TestStrictBehaviorUnchanged pins that SetTolerant defaults to off and
+// strict mode still fails fast, preserving the historical contract.
+func TestStrictBehaviorUnchanged(t *testing.T) {
+	raw, _ := writeTestCapture(t, 3)
+	r, err := NewReader(bytes.NewReader(raw[:30])) // header + 6 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readAll(r); !errors.Is(err, ErrTruncated) {
+		t.Errorf("strict partial header: %v, want ErrTruncated", err)
+	}
+}

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"behaviot/internal/netparse"
+)
+
+// Queue is a bounded feed pump between capture producers and a packet
+// sink (typically a locked Monitor.Feed): producers enqueue from any
+// goroutine, a single consumer goroutine drains into the sink in
+// arrival order. Two producer disciplines are offered — Feed blocks
+// when the queue is full (backpressure, for paced replay), Offer drops
+// and counts instead (load shedding, for live capture where blocking
+// the tap loses packets anyway). This is the behaviotd -queue knob.
+type Queue struct {
+	ch      chan *netparse.Packet
+	dropped atomic.Int64
+
+	mu     sync.RWMutex // guards closed
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewQueue starts the consumer goroutine draining up to size queued
+// packets into sink. The sink runs on that single goroutine, so a sink
+// that locks (as behaviotd's does) serializes cleanly with samplers.
+// Close must be called to drain and stop the consumer.
+func NewQueue(size int, sink func(*netparse.Packet)) *Queue {
+	if size <= 0 {
+		size = 1024
+	}
+	q := &Queue{ch: make(chan *netparse.Packet, size)}
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		for p := range q.ch {
+			sink(p)
+		}
+	}()
+	return q
+}
+
+// Feed enqueues with backpressure: it blocks while the queue is full.
+// Feeding a closed queue is a counted drop, not a panic, so shutdown
+// races degrade gracefully. (The read lock is held across the send;
+// Close takes the write side, so it cannot close the channel out from
+// under a blocked producer — the consumer keeps draining meanwhile.)
+func (q *Queue) Feed(p *netparse.Packet) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		q.dropped.Add(1)
+		return
+	}
+	q.ch <- p
+}
+
+// Offer enqueues without blocking. When the queue is full (or already
+// closed) the packet is dropped, counted, and false is returned — the
+// overflow behavior of a real capture ring.
+func (q *Queue) Offer(p *netparse.Packet) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		q.dropped.Add(1)
+		return false
+	}
+	select {
+	case q.ch <- p:
+		return true
+	default:
+		q.dropped.Add(1)
+		return false
+	}
+}
+
+// Dropped returns how many packets Offer (or post-close Feed) shed.
+func (q *Queue) Dropped() int64 { return q.dropped.Load() }
+
+// Depth returns the current queue occupancy (for gauges).
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// Close stops accepting packets, waits for the consumer to drain what
+// was queued, and returns. Safe to call more than once; producers
+// racing Close have their packets counted as dropped, never panicked.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	already := q.closed
+	q.closed = true
+	q.mu.Unlock()
+	if already {
+		return
+	}
+	close(q.ch)
+	q.wg.Wait()
+}

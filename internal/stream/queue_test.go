@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"behaviot/internal/netparse"
+)
+
+// TestQueueDeliversInOrder verifies the single-consumer queue preserves
+// arrival order from one producer and drains fully on Close.
+func TestQueueDeliversInOrder(t *testing.T) {
+	var got []uint16
+	q := NewQueue(8, func(p *netparse.Packet) { got = append(got, p.SrcPort) })
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Feed(&netparse.Packet{SrcPort: uint16(i)})
+	}
+	q.Close()
+	if len(got) != n {
+		t.Fatalf("sink saw %d packets, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint16(i) {
+			t.Fatalf("packet %d out of order: got port %d", i, v)
+		}
+	}
+	if q.Dropped() != 0 {
+		t.Errorf("backpressure Feed dropped %d packets", q.Dropped())
+	}
+}
+
+// TestQueueOfferShedsWhenFull verifies the non-blocking discipline:
+// with the consumer wedged, Offer fills the buffer, then sheds and
+// counts.
+func TestQueueOfferShedsWhenFull(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var delivered int
+	q := NewQueue(4, func(p *netparse.Packet) {
+		<-release
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	// One packet wedges in the sink, four fill the buffer; the rest shed.
+	accepted := 0
+	for i := 0; i < 20; i++ {
+		if q.Offer(&netparse.Packet{}) {
+			accepted++
+		}
+		if i == 0 {
+			// Give the consumer a moment to pull the wedge packet so the
+			// accounting below is stable.
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if q.Dropped() == 0 {
+		t.Error("Offer against a full queue shed nothing")
+	}
+	if accepted+int(q.Dropped()) != 20 {
+		t.Errorf("accepted %d + dropped %d != 20 offered", accepted, q.Dropped())
+	}
+	close(release)
+	q.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != accepted {
+		t.Errorf("sink saw %d packets, accepted %d", delivered, accepted)
+	}
+}
+
+// TestQueueCloseRace hammers Feed/Offer from many producers while Close
+// runs: no panic (send on closed channel) and every packet is either
+// delivered or counted as dropped. Run under -race; the detector and
+// the accounting are the oracles.
+func TestQueueCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		var mu sync.Mutex
+		var delivered int64
+		q := NewQueue(16, func(p *netparse.Packet) {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+		})
+		const producers, perProducer = 8, 50
+		var wg sync.WaitGroup
+		for w := 0; w < producers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					if w%2 == 0 {
+						q.Feed(&netparse.Packet{})
+					} else {
+						q.Offer(&netparse.Packet{})
+					}
+				}
+			}(w)
+		}
+		q.Close() // races the producers on purpose
+		wg.Wait()
+		q.Close() // idempotent
+		mu.Lock()
+		total := delivered + q.Dropped()
+		mu.Unlock()
+		if total != producers*perProducer {
+			t.Fatalf("round %d: delivered %d + dropped %d != %d fed",
+				round, delivered, q.Dropped(), producers*perProducer)
+		}
+	}
+}
+
+// TestFeedRecordCountsParseErrors verifies undecodable wire records
+// increment the per-class counters instead of aborting, and that good
+// records still flow.
+func TestFeedRecordCountsParseErrors(t *testing.T) {
+	f := getFixture(t)
+	m := NewMonitor(f.pipe, f.monitorConfig(), Config{})
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+	m.FeedRecord(base, []byte{0x01, 0x02}) // truncated ethernet
+	m.FeedRecord(base, make([]byte, 64))   // ethertype 0 → unsupported
+	good, err := netparse.Encode(&netparse.Packet{
+		SrcIP: f.tb.Device("TPLink Plug").IP, DstIP: f.tb.LocalPrefix.Addr(),
+		SrcPort: 10000, DstPort: 53, Proto: netparse.ProtoUDP, Payload: []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FeedRecord(base, good)
+
+	st := m.Stats()
+	if st.ParseErrors != 2 {
+		t.Errorf("ParseErrors = %d, want 2", st.ParseErrors)
+	}
+	if st.ParseErrorsByClass[netparse.ClassTruncated] != 1 {
+		t.Errorf("truncated class = %d, want 1", st.ParseErrorsByClass[netparse.ClassTruncated])
+	}
+	if st.ParseErrorsByClass[netparse.ClassUnsupported] != 1 {
+		t.Errorf("unsupported class = %d, want 1", st.ParseErrorsByClass[netparse.ClassUnsupported])
+	}
+	if st.Packets != 1 {
+		t.Errorf("Packets = %d, want 1 (the good record)", st.Packets)
+	}
+}
+
+// TestMaxSkewDropsAncientPackets verifies the clock-skew gate: once
+// stream time has advanced, packets lagging beyond MaxSkew are counted
+// and discarded rather than replayed into live flow state.
+func TestMaxSkewDropsAncientPackets(t *testing.T) {
+	f := getFixture(t)
+	m := NewMonitor(f.pipe, f.monitorConfig(), Config{MaxSkew: 2 * time.Second})
+	base := time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(ts time.Time) *netparse.Packet {
+		return &netparse.Packet{
+			Timestamp: ts,
+			SrcIP:     f.tb.Device("TPLink Plug").IP, DstIP: f.tb.LocalPrefix.Addr(),
+			SrcPort: 10000, DstPort: 443, Proto: netparse.ProtoTCP,
+		}
+	}
+	m.Feed(mk(base))
+	m.Feed(mk(base.Add(10 * time.Second)))
+	m.Feed(mk(base.Add(1 * time.Second))) // 9 s behind stream time → dropped
+	m.Feed(mk(base.Add(9 * time.Second))) // 1 s behind → accepted
+
+	st := m.Stats()
+	if st.LateDropped != 1 {
+		t.Errorf("LateDropped = %d, want 1", st.LateDropped)
+	}
+	if st.Packets != 3 {
+		t.Errorf("Packets = %d, want 3", st.Packets)
+	}
+}

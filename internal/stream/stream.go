@@ -36,6 +36,12 @@ type Config struct {
 	SilenceFactor float64
 	// TraceGap separates user-event traces (default 1 min).
 	TraceGap time.Duration
+	// MaxSkew, when positive, drops packets whose timestamp lags
+	// stream time by more than this (counted in Stats.LateDropped):
+	// a guard against clock-skewed or badly reordered captures
+	// dragging ancient packets into live flow state. Zero accepts
+	// any lag (the historical behavior).
+	MaxSkew time.Duration
 	// OnEvent, if set, receives every classified event.
 	OnEvent func(Event)
 	// OnDeviation, if set, receives every significant deviation.
@@ -79,7 +85,9 @@ type Monitor struct {
 	stats Stats
 }
 
-// Stats summarizes the monitor's activity.
+// Stats summarizes the monitor's activity, including the ingest-health
+// counters that let a lossy capture degrade into metrics instead of a
+// crash.
 type Stats struct {
 	Packets    int64
 	Flows      int64
@@ -89,6 +97,13 @@ type Stats struct {
 	Deviations int64
 	Traces     int64
 	StreamTime time.Time
+
+	// ParseErrors counts frames FeedRecord could not decode;
+	// ParseErrorsByClass splits them by netparse error class.
+	ParseErrors        int64
+	ParseErrorsByClass map[string]int64
+	// LateDropped counts packets rejected by the MaxSkew gate.
+	LateDropped int64
 }
 
 // NewMonitor wraps a trained pipeline and an assembler configuration for
@@ -103,9 +118,18 @@ func NewMonitor(pipe *core.Pipeline, acfg flows.Config, cfg Config) *Monitor {
 	}
 }
 
-// Feed processes one packet. Packets must arrive in non-decreasing time
-// order (gateway capture order).
+// Feed processes one packet. Packets should arrive in roughly
+// non-decreasing time order (gateway capture order); stream time only
+// moves forward, and packets lagging it by more than MaxSkew are
+// dropped and counted rather than replayed into live flow state.
 func (m *Monitor) Feed(p *netparse.Packet) {
+	if p == nil {
+		return
+	}
+	if m.cfg.MaxSkew > 0 && m.clock.Sub(p.Timestamp) > m.cfg.MaxSkew {
+		m.stats.LateDropped++
+		return
+	}
 	m.stats.Packets++
 	if p.Timestamp.After(m.clock) {
 		m.clock = p.Timestamp
@@ -136,10 +160,35 @@ func (m *Monitor) Close() {
 	m.closeTrace()
 }
 
+// FeedRecord decodes one wire-format capture record and feeds it.
+// Malformed frames are not fatal: they increment the per-class parse
+// error counters and are otherwise ignored, which is what lets the
+// monitor ride out a corrupted or truncated capture (§7.2's gateway
+// deployment never gets pristine input).
+func (m *Monitor) FeedRecord(ts time.Time, data []byte) {
+	p, err := netparse.Decode(data)
+	if err != nil {
+		m.stats.ParseErrors++
+		if m.stats.ParseErrorsByClass == nil {
+			m.stats.ParseErrorsByClass = map[string]int64{}
+		}
+		m.stats.ParseErrorsByClass[netparse.ErrorClass(err)]++
+		return
+	}
+	p.Timestamp = ts
+	m.Feed(p)
+}
+
 // Stats returns a snapshot of the monitor's counters.
 func (m *Monitor) Stats() Stats {
 	s := m.stats
 	s.StreamTime = m.clock
+	if m.stats.ParseErrorsByClass != nil {
+		s.ParseErrorsByClass = make(map[string]int64, len(m.stats.ParseErrorsByClass))
+		for k, v := range m.stats.ParseErrorsByClass {
+			s.ParseErrorsByClass[k] = v
+		}
+	}
 	return s
 }
 
