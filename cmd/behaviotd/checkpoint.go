@@ -1,0 +1,281 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/flows"
+	"behaviot/internal/modelstore"
+	"behaviot/internal/snapio"
+	"behaviot/internal/stream"
+)
+
+// errStopped is returned by feeders that quiesced for shutdown after
+// writing their final checkpoint; main treats it as a clean exit.
+var errStopped = errors.New("feed stopped for shutdown")
+
+// daemonSnapVersion guards the daemon.snap wire format: the feed cursor,
+// ingest counters, recent-event rings, and the event-log offset.
+const daemonSnapVersion = 1
+
+// fileCRC returns the CRC32C of a file's contents, the cheap identity
+// used in store fingerprints (a capture or manifest edit must invalidate
+// old snapshots).
+func fileCRC(path string) (uint32, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli)), nil
+}
+
+// maybeCheckpoint is called by every feeder at each record boundary — the
+// only point where monitor state is consistent with the feed cursor. It
+// returns true when the feeder must stop (shutdown requested); a final
+// checkpoint has then already been written. Periodic checkpoints fire
+// when the interval ticker has raised ckptDue.
+func (s *server) maybeCheckpoint() bool {
+	if s.stopping.Load() {
+		s.checkpoint()
+		return true
+	}
+	if s.ckptDue.Swap(false) {
+		s.checkpoint()
+	}
+	return false
+}
+
+// checkpoint writes one store generation: pipeline (models + timer
+// anchors), monitor streaming state, and daemon state. The queue is
+// flushed first so the monitor has consumed exactly fedRecords records;
+// the event log is fsynced before its offset is recorded so the offset
+// never points past durable bytes. Failures are logged, not fatal: a
+// full disk must not kill monitoring.
+func (s *server) checkpoint() {
+	if s.store == nil {
+		return
+	}
+	if s.queue != nil {
+		s.queue.Flush()
+	}
+	s.mu.Lock()
+	pipeSnap := core.MarshalPipeline(s.pipe)
+	monSnap := s.monitor.MarshalState()
+	s.mu.Unlock()
+	daemonSnap := s.marshalDaemonState()
+	gen, err := s.store.Write(s.fingerprint, map[string][]byte{
+		modelstore.FilePipeline: pipeSnap,
+		modelstore.FileMonitor:  monSnap,
+		modelstore.FileDaemon:   daemonSnap,
+	})
+	if err != nil {
+		log.Printf("checkpoint failed: %v", err)
+		return
+	}
+	s.storeGen.Store(int64(gen))
+	s.lastCkptUnix.Store(time.Now().UnixNano())
+	s.checkpointsTotal.Add(1)
+}
+
+// marshalDaemonState serializes everything outside the monitor that a
+// resumed process needs: the feed cursor, ingest-health counters, the
+// recent-event rings, and the event-log high-water mark.
+func (s *server) marshalDaemonState() []byte {
+	var w snapio.Writer
+	w.U8(daemonSnapVersion)
+	w.I64(s.fedRecords.Load())
+	w.I64(s.parseErrors.Load())
+	for i := range s.parseByClass {
+		w.I64(s.parseByClass[i].Load())
+	}
+	w.I64(s.skippedRecords.Load())
+	w.I64(s.skippedBytes.Load())
+
+	s.ringMu.Lock()
+	defer s.ringMu.Unlock()
+	if s.eventLog != nil {
+		if err := s.eventLog.Sync(); err != nil {
+			log.Printf("event log sync: %v", err)
+		}
+	}
+	w.I64(s.eventLogBytes)
+	w.Uint(uint64(len(s.events)))
+	for _, e := range s.events {
+		w.Int(int(e.Class))
+		w.String(e.Device)
+		w.String(e.Label)
+		w.Time(e.Time)
+		w.F64(e.Confidence)
+	}
+	w.Uint(uint64(len(s.deviations)))
+	for _, d := range s.deviations {
+		w.U8(uint8(d.Kind))
+		w.String(d.Device)
+		w.String(d.Detail)
+		w.Time(d.Time)
+		w.F64(d.Score)
+	}
+	return w.Bytes()
+}
+
+// restoreDaemonState is the inverse of marshalDaemonState. It runs
+// pre-spawn (no goroutines yet), so the atomics are plain stores.
+func (s *server) restoreDaemonState(data []byte) error {
+	r := snapio.NewReader(data)
+	if v := r.U8(); v != daemonSnapVersion && r.Err() == nil {
+		return fmt.Errorf("daemon snapshot version %d (want %d)", v, daemonSnapVersion)
+	}
+	fed := r.I64()
+	parseErrors := r.I64()
+	var byClass [len(parseClasses)]int64
+	for i := range byClass {
+		byClass[i] = r.I64()
+	}
+	skippedRecords := r.I64()
+	skippedBytes := r.I64()
+	eventLogBytes := r.I64()
+
+	var events []stream.Event
+	n := r.Length(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		events = append(events, stream.Event{
+			Class:  core.EventClass(r.Int()),
+			Device: r.String(),
+			Label:  r.String(),
+			Time:   r.Time(),
+		})
+		events[len(events)-1].Confidence = r.F64()
+	}
+	var deviations []stream.Deviation
+	n = r.Length(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		deviations = append(deviations, stream.Deviation{
+			Kind:   core.DeviationKind(r.U8()),
+			Device: r.String(),
+			Detail: r.String(),
+			Time:   r.Time(),
+		})
+		deviations[len(deviations)-1].Score = r.F64()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+
+	s.fedRecords.Store(fed)
+	s.skipRecords = fed
+	s.parseErrors.Store(parseErrors)
+	for i := range byClass {
+		s.parseByClass[i].Store(byClass[i])
+	}
+	s.skippedRecords.Store(skippedRecords)
+	s.skippedBytes.Store(skippedBytes)
+	s.eventLogBytes = eventLogBytes
+	s.ringMu.Lock()
+	s.events = events
+	s.deviations = deviations
+	s.ringMu.Unlock()
+	return nil
+}
+
+// tryRestore attempts hot recovery from the model store: load the newest
+// intact generation matching the training fingerprint, rebuild the
+// pipeline from snapshot bytes (skipping training entirely), and restore
+// streaming + daemon state. Any failure falls back to a fresh start —
+// resume is an optimization, never a correctness requirement.
+func (s *server) tryRestore(acfg flows.Config, scfg stream.Config) bool {
+	if s.store == nil || !s.resume {
+		return false
+	}
+	snap, err := s.store.Load(s.fingerprint)
+	if err != nil {
+		log.Printf("resume: %v; starting fresh", err)
+		return false
+	}
+	pipe, err := core.UnmarshalPipeline(snap.Files[modelstore.FilePipeline])
+	if err != nil {
+		log.Printf("resume: pipeline snapshot: %v; starting fresh", err)
+		return false
+	}
+	m := stream.NewMonitor(pipe, acfg, scfg)
+	if data := snap.Files[modelstore.FileMonitor]; len(data) > 0 {
+		if err := m.UnmarshalState(data); err != nil {
+			log.Printf("resume: monitor snapshot: %v; starting fresh", err)
+			return false
+		}
+	}
+	if data := snap.Files[modelstore.FileDaemon]; len(data) > 0 {
+		if err := s.restoreDaemonState(data); err != nil {
+			log.Printf("resume: daemon snapshot: %v; starting fresh", err)
+			return false
+		}
+	}
+	s.pipe = pipe
+	s.mu.Lock()
+	s.monitor = m
+	s.mu.Unlock()
+	s.storeGen.Store(int64(snap.Generation))
+	log.Printf("resumed from store generation %d (cursor at record %d, skipping training)",
+		snap.Generation, s.skipRecords)
+	return true
+}
+
+// openEventLog opens (creating if needed) the -eventlog file and
+// truncates it to the restored high-water mark: everything the crashed
+// process appended after its last durable checkpoint is discarded, so
+// the log and the feed cursor agree and a resumed run appends exactly
+// what the uninterrupted run would have.
+func (s *server) openEventLog(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("event log: %w", err)
+	}
+	if err := f.Truncate(s.eventLogBytes); err != nil {
+		f.Close() //lint:ignore errcheck truncate error already being reported
+		return fmt.Errorf("event log: %w", err)
+	}
+	if _, err := f.Seek(s.eventLogBytes, io.SeekStart); err != nil {
+		f.Close() //lint:ignore errcheck seek error already being reported
+		return fmt.Errorf("event log: %w", err)
+	}
+	s.eventLog = f
+	return nil
+}
+
+// eventLogLine is one JSONL record in the -eventlog file. Field order
+// and encoding are fixed, so two runs that observe the same events
+// produce byte-identical logs (the crash-recovery diff oracle).
+type eventLogLine struct {
+	Type       string    `json:"type"`
+	Time       time.Time `json:"time"`
+	Device     string    `json:"device"`
+	Label      string    `json:"label,omitempty"`
+	Kind       string    `json:"kind,omitempty"`
+	Detail     string    `json:"detail,omitempty"`
+	Confidence float64   `json:"confidence,omitempty"`
+	Score      float64   `json:"score,omitempty"`
+}
+
+// appendEventLog writes one line to the event log. Caller holds ringMu.
+func (s *server) appendEventLog(line eventLogLine) {
+	if s.eventLog == nil {
+		return
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		log.Printf("event log: %v", err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := s.eventLog.Write(data); err != nil {
+		log.Printf("event log: %v", err)
+		return
+	}
+	s.eventLogBytes += int64(len(data))
+}

@@ -56,6 +56,7 @@ import (
 	"behaviot/internal/core"
 	"behaviot/internal/datasets"
 	"behaviot/internal/flows"
+	"behaviot/internal/modelstore"
 	"behaviot/internal/netparse"
 	"behaviot/internal/pcapio"
 	"behaviot/internal/pfsm"
@@ -92,6 +93,32 @@ type server struct {
 
 	tolerant bool
 	started  time.Time
+
+	// Crash-safe checkpointing (-store). pipe is the trained pipeline the
+	// monitor wraps (needed for snapshots); fedRecords is the feed cursor
+	// (records dispatched by the feeder, maintained producer-side so a
+	// queue Flush makes it exact); skipRecords is how far a resumed feeder
+	// fast-forwards. ckptDue is raised by the interval ticker and consumed
+	// by the feeder at record boundaries; stopping quiesces the feeder for
+	// a final checkpoint on SIGTERM/SIGINT.
+	store       *modelstore.Store
+	resume      bool
+	fingerprint string
+	pipe        *core.Pipeline
+	skipRecords int64
+	fedRecords  atomic.Int64
+	ckptDue     atomic.Bool
+	stopping    atomic.Bool
+
+	storeGen         atomic.Int64
+	lastCkptUnix     atomic.Int64
+	checkpointsTotal atomic.Int64
+
+	// eventLog (-eventlog) appends one JSONL line per user event and
+	// deviation; eventLogBytes is its durable high-water mark. Both are
+	// guarded by ringMu (record() writes while holding it).
+	eventLog      *os.File
+	eventLogBytes int64
 }
 
 // parseClasses indexes the per-class parse error counters; the last
@@ -111,7 +138,7 @@ func run() int {
 	var (
 		listen   = flag.String("listen", ":8650", "HTTP listen address")
 		sim      = flag.Bool("sim", false, "self-contained demo: train on the simulator and feed synthetic traffic")
-		simRate  = flag.Float64("simrate", 0, "simulator replay speed (0 = as fast as possible)")
+		simRate  = flag.Float64("simrate", 0, "replay speed multiplier for the -sim and -replay feeds (0 = as fast as possible)")
 		idleP    = flag.String("idle", "", "idle training capture (pcap)")
 		devsP    = flag.String("devices", "", "device manifest CSV")
 		replayP  = flag.String("replay", "", "capture to monitor (pcap)")
@@ -119,6 +146,10 @@ func run() int {
 		queueLen = flag.Int("queue", 0, "bounded feed queue length between capture producer and monitor (0 = feed directly); overflow is counted, not blocking")
 		maxSkew  = flag.Duration("maxskew", 0, "drop packets whose timestamp lags stream time by more than this (0 = accept any lag)")
 		impairS  = flag.String("impair", "", "impair the -sim feed through internal/chaos, e.g. drop=0.01,corrupt=0.01,skew=50ms (requires -sim)")
+		storeP   = flag.String("store", "", "model store directory for crash-safe checkpoints (empty = no checkpointing)")
+		ckptIvl  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint models and streaming state into -store")
+		resumeF  = flag.Bool("resume", false, "resume from the newest intact -store snapshot: skip training, restore streaming state, fast-forward the feed cursor")
+		eventLog = flag.String("eventlog", "", "append one JSON line per user event and deviation to this file (truncated to the last checkpoint on -resume)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime)
@@ -133,7 +164,19 @@ func run() int {
 		return 2
 	}
 
-	srv := &server{started: time.Now(), tolerant: *tolerant}
+	srv := &server{started: time.Now(), tolerant: *tolerant, resume: *resumeF}
+	if *storeP != "" {
+		srv.store, err = modelstore.Open(*storeP, modelstore.Options{
+			Now: func() int64 { return time.Now().Unix() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "behaviotd:", err)
+			return 1
+		}
+	} else if *resumeF {
+		fmt.Fprintln(os.Stderr, "behaviotd: -resume requires -store; see -h")
+		return 2
+	}
 	scfg := stream.Config{
 		MaxSkew:     *maxSkew,
 		OnEvent:     func(e stream.Event) { srv.record(&e, nil) },
@@ -148,11 +191,21 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "behaviotd: need -idle, -devices and -replay (or -sim); see -h")
 			return 2
 		}
-		feed, err = setupReplay(srv, scfg, *idleP, *devsP, *replayP)
+		feed, err = setupReplay(srv, scfg, *idleP, *devsP, *replayP, *simRate)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "behaviotd:", err)
 		return 1
+	}
+
+	// The event log opens after setup: a resume will have restored the
+	// high-water mark the file is truncated to.
+	if *eventLog != "" {
+		if err := srv.openEventLog(*eventLog); err != nil {
+			fmt.Fprintln(os.Stderr, "behaviotd:", err)
+			return 1
+		}
+		defer srv.eventLog.Close()
 	}
 
 	if *queueLen > 0 {
@@ -171,6 +224,22 @@ func run() int {
 	mux.HandleFunc("GET /events", srv.handleEvents)
 	mux.HandleFunc("GET /deviations", srv.handleDeviations)
 	mux.HandleFunc("GET /metrics", srv.handleMetrics)
+
+	// Checkpoint 1 lands before the first packet: a crash at any later
+	// point recovers at least the trained models (a resumed run already
+	// has a generation and skips this).
+	if srv.store != nil && srv.storeGen.Load() == 0 {
+		srv.checkpoint()
+	}
+	if srv.store != nil && *ckptIvl > 0 {
+		tick := time.NewTicker(*ckptIvl)
+		defer tick.Stop()
+		go func() {
+			for range tick.C {
+				srv.ckptDue.Store(true)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: mux}
 	httpErr := make(chan error, 1)
@@ -195,7 +264,7 @@ func run() int {
 	for {
 		select {
 		case err := <-feedErr:
-			if err != nil {
+			if err != nil && !errors.Is(err, errStopped) {
 				shutdown()
 				fmt.Fprintln(os.Stderr, "behaviotd: feed failed:", err)
 				return 1
@@ -204,6 +273,21 @@ func run() int {
 			feedErr = nil // completed; keep serving until a signal
 		case s := <-sig:
 			log.Printf("%s: shutting down", s)
+			// Quiesce the feeder first: it drains the queue and writes
+			// the final checkpoint at a record boundary, WITHOUT closing
+			// the monitor — open flows and the open trace survive into
+			// the snapshot so a -resume continues seamlessly.
+			srv.stopping.Store(true)
+			if feedErr != nil {
+				select {
+				case err := <-feedErr:
+					if err != nil && !errors.Is(err, errStopped) {
+						log.Printf("feed: %v", err)
+					}
+				case <-time.After(15 * time.Second):
+					log.Println("feeder did not quiesce in 15s; shutting down anyway")
+				}
+			}
 			shutdown()
 			return 0
 		case err := <-httpErr:
@@ -276,12 +360,20 @@ func (s *server) record(e *stream.Event, d *stream.Deviation) {
 		if len(s.events) > ringSize {
 			s.events = s.events[len(s.events)-ringSize:]
 		}
+		s.appendEventLog(eventLogLine{
+			Type: "event", Time: e.Time, Device: e.Device,
+			Label: e.Label, Confidence: e.Confidence,
+		})
 	}
 	if d != nil {
 		s.deviations = append(s.deviations, *d)
 		if len(s.deviations) > ringSize {
 			s.deviations = s.deviations[len(s.deviations)-ringSize:]
 		}
+		s.appendEventLog(eventLogLine{
+			Type: "deviation", Time: d.Time, Device: d.Device,
+			Kind: d.Kind.String(), Detail: d.Detail, Score: d.Score,
+		})
 		log.Printf("DEVIATION [%s] %s score=%.2f %s", d.Kind, d.Device, d.Score, d.Detail)
 	}
 }
@@ -317,6 +409,14 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.queue != nil {
 		body["queue_dropped"] = s.queue.Dropped()
 		body["queue_depth"] = s.queue.Depth()
+	}
+	if s.store != nil {
+		body["store_generation"] = s.storeGen.Load()
+		body["checkpoints_total"] = s.checkpointsTotal.Load()
+		if last := s.lastCkptUnix.Load(); last > 0 {
+			age := time.Since(time.Unix(0, last)).Seconds()
+			body["last_checkpoint_age_seconds"] = age
+		}
 	}
 	writeJSON(w, body)
 }
@@ -378,6 +478,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE behaviot_queue_dropped_total counter\nbehaviot_queue_dropped_total %d\n", s.queue.Dropped())
 		fmt.Fprintf(w, "# TYPE behaviot_queue_depth gauge\nbehaviot_queue_depth %d\n", s.queue.Depth())
 	}
+	if s.store != nil {
+		fmt.Fprintf(w, "# TYPE behaviot_checkpoints_total counter\nbehaviot_checkpoints_total %d\n", s.checkpointsTotal.Load())
+		fmt.Fprintf(w, "# TYPE behaviot_store_generation gauge\nbehaviot_store_generation %d\n", s.storeGen.Load())
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -406,45 +510,55 @@ func setupSimulator(srv *server, scfg stream.Config, rate float64, replayPath st
 			return nil, err
 		}
 	}
-	log.Println("sim mode: training on the bundled testbed simulator...")
 	tb := testbed.New()
 	devices := []*testbed.DeviceProfile{
 		tb.Device("TPLink Plug"), tb.Device("Ring Camera"),
 		tb.Device("Gosund Bulb"), tb.Device("Echo Spot"),
 	}
-	idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices, 0)
-	labeled := map[string][]*flows.Flow{}
-	for _, s := range datasets.Activity(tb, 2, 12, 0) {
-		for _, d := range devices {
-			if s.Device == d.Name {
-				labeled[s.Label] = append(labeled[s.Label], s.Flows...)
+	acfg := flows.Config{LocalPrefix: tb.LocalPrefix, DeviceByIP: tb.DeviceByIP()}
+	srv.fingerprint = "behaviotd/v1|mode=sim|impair=" + impair.String()
+	if replayPath != "" {
+		crc, err := fileCRC(replayPath)
+		if err != nil {
+			return nil, fmt.Errorf("replay capture: %w", err)
+		}
+		srv.fingerprint += fmt.Sprintf("|replay=%08x", crc)
+	}
+
+	if !srv.tryRestore(acfg, scfg) {
+		log.Println("sim mode: training on the bundled testbed simulator...")
+		idle := datasets.Idle(tb, 1, datasets.DefaultStart, 1, devices, 0)
+		labeled := map[string][]*flows.Flow{}
+		for _, s := range datasets.Activity(tb, 2, 12, 0) {
+			for _, d := range devices {
+				if s.Device == d.Name {
+					labeled[s.Label] = append(labeled[s.Label], s.Flows...)
+				}
 			}
 		}
-	}
-	pipe, err := core.Train(idle, labeled, core.DefaultConfig())
-	if err != nil {
-		return nil, fmt.Errorf("sim training: %w", err)
-	}
-	routine := datasets.Routine(tb, 3, datasets.DefaultStart.Add(7*24*time.Hour),
-		datasets.RoutineConfig{Days: 1, RunsPerDay: 15, DirectPerDay: 3})
-	var rfs []*flows.Flow
-	names := map[string]bool{}
-	for _, d := range devices {
-		names[d.Name] = true
-	}
-	for _, f := range routine.Flows {
-		if names[f.Device] {
-			rfs = append(rfs, f)
+		pipe, err := core.Train(idle, labeled, core.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("sim training: %w", err)
 		}
+		routine := datasets.Routine(tb, 3, datasets.DefaultStart.Add(7*24*time.Hour),
+			datasets.RoutineConfig{Days: 1, RunsPerDay: 15, DirectPerDay: 3})
+		var rfs []*flows.Flow
+		names := map[string]bool{}
+		for _, d := range devices {
+			names[d.Name] = true
+		}
+		for _, f := range routine.Flows {
+			if names[f.Device] {
+				rfs = append(rfs, f)
+			}
+		}
+		traces := pipe.TrainSystem(pipe.Classify(rfs), pfsm.Options{})
+		pipe.Calibrate(traces)
+		log.Printf("trained: %d periodic models, %d-state PFSM",
+			len(pipe.Periodic.Models()), pipe.System.NumStates())
+		srv.pipe = pipe
+		srv.monitor = stream.NewMonitor(pipe, acfg, scfg)
 	}
-	traces := pipe.TrainSystem(pipe.Classify(rfs), pfsm.Options{})
-	pipe.Calibrate(traces)
-	log.Printf("trained: %d periodic models, %d-state PFSM",
-		len(pipe.Periodic.Models()), pipe.System.NumStates())
-
-	srv.monitor = stream.NewMonitor(pipe, flows.Config{
-		LocalPrefix: tb.LocalPrefix, DeviceByIP: tb.DeviceByIP(),
-	}, scfg)
 
 	if replayPath != "" {
 		return func(s *server) error {
@@ -478,10 +592,20 @@ func setupSimulator(srv *server, scfg stream.Config, rate float64, replayPath st
 			return s.feedImpaired(kept, impair, rate)
 		}
 		log.Printf("replaying %d synthetic packets (24 simulated hours)", len(kept))
-		replayPackets(s, kept, rate)
-		s.closeFeed()
-		return nil
+		if err := s.replayPackets(kept, rate); err != nil {
+			return err
+		}
+		return s.finishFeed()
 	}, nil
+}
+
+// finishFeed closes out a completed feed: flush everything through the
+// monitor, then record a completion checkpoint so a restart serves the
+// final counters without replaying anything.
+func (s *server) finishFeed() error {
+	s.closeFeed()
+	s.checkpoint()
+	return nil
 }
 
 // feedImpaired serializes packets to wire records, damages them through
@@ -495,18 +619,27 @@ func (s *server) feedImpaired(pkts []*netparse.Packet, impair chaos.Config, rate
 	recs = chaos.Impair(recs, 99, impair)
 	log.Printf("replaying %d impaired records (of %d synthetic packets; impair %s)",
 		len(recs), len(pkts), impair)
+	skip := s.skipRecords
 	var prev time.Time
 	for i, r := range recs {
-		if rate > 0 && i > 0 {
+		n := int64(i + 1)
+		if n <= skip {
+			prev = r.Time
+			continue
+		}
+		if rate > 0 && !prev.IsZero() {
 			if gap := r.Time.Sub(prev); gap > 0 {
 				time.Sleep(time.Duration(float64(gap) / rate))
 			}
 		}
 		prev = r.Time
 		s.ingestRecord(r.Time, r.Data)
+		s.fedRecords.Store(n)
+		if s.maybeCheckpoint() {
+			return errStopped
+		}
 	}
-	s.closeFeed()
-	return nil
+	return s.finishFeed()
 }
 
 // setupReplay loads training captures and returns a feeder replaying the
@@ -514,7 +647,7 @@ func (s *server) feedImpaired(pkts []*netparse.Packet, impair chaos.Config, rate
 // can exit nonzero before the daemon starts serving. Like
 // setupSimulator it runs pre-spawn, before any concurrent goroutine can
 // observe srv.
-func setupReplay(srv *server, scfg stream.Config, idlePath, devicesPath, replayPath string) (func(*server) error, error) {
+func setupReplay(srv *server, scfg stream.Config, idlePath, devicesPath, replayPath string, rate float64) (func(*server) error, error) {
 	deviceByIP, err := loadDevices(devicesPath)
 	if err != nil {
 		return nil, fmt.Errorf("loading device manifest: %w", err)
@@ -522,28 +655,49 @@ func setupReplay(srv *server, scfg stream.Config, idlePath, devicesPath, replayP
 	prefix := netip.MustParsePrefix("192.168.0.0/16")
 	acfg := flows.Config{LocalPrefix: prefix, DeviceByIP: deviceByIP}
 
-	idlePkts, err := readPcap(idlePath)
+	// The fingerprint ties store snapshots to the exact inputs: models to
+	// the training capture and device manifest, the feed cursor to the
+	// replay capture. Any edit invalidates old generations.
+	idleCRC, err := fileCRC(idlePath)
 	if err != nil {
-		return nil, fmt.Errorf("reading idle capture: %w", err)
+		return nil, fmt.Errorf("idle capture: %w", err)
 	}
-	a := flows.NewAssembler(acfg)
-	for _, p := range idlePkts {
-		a.Add(p)
-	}
-	idle := a.Flows()
-	log.Printf("idle training: %d packets → %d flows", len(idlePkts), len(idle))
-	pipe, err := core.Train(idle, map[string][]*flows.Flow{}, core.DefaultConfig())
+	devCRC, err := fileCRC(devicesPath)
 	if err != nil {
-		return nil, fmt.Errorf("training on idle capture: %w", err)
+		return nil, fmt.Errorf("device manifest: %w", err)
 	}
-	srv.monitor = stream.NewMonitor(pipe, acfg, scfg)
+	replayCRC, err := fileCRC(replayPath)
+	if err != nil {
+		return nil, fmt.Errorf("replay capture: %w", err)
+	}
+	srv.fingerprint = fmt.Sprintf("behaviotd/v1|mode=replay|idle=%08x|devices=%08x|replay=%08x",
+		idleCRC, devCRC, replayCRC)
+
+	if !srv.tryRestore(acfg, scfg) {
+		idlePkts, err := readPcap(idlePath)
+		if err != nil {
+			return nil, fmt.Errorf("reading idle capture: %w", err)
+		}
+		a := flows.NewAssembler(acfg)
+		for _, p := range idlePkts {
+			a.Add(p)
+		}
+		idle := a.Flows()
+		log.Printf("idle training: %d packets → %d flows", len(idlePkts), len(idle))
+		pipe, err := core.Train(idle, map[string][]*flows.Flow{}, core.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("training on idle capture: %w", err)
+		}
+		srv.pipe = pipe
+		srv.monitor = stream.NewMonitor(pipe, acfg, scfg)
+	}
 	// Preflight the replay capture so an unreadable file fails startup
 	// with a clear message instead of killing the feeder mid-flight.
 	if err := preflightPcap(replayPath); err != nil {
 		return nil, err
 	}
 	return func(s *server) error {
-		return s.feedPcapFile(replayPath, 0)
+		return s.feedPcapFile(replayPath, rate)
 	}, nil
 }
 
@@ -598,6 +752,8 @@ func (s *server) feedPcapFile(path string, rate float64) error {
 	}
 	r.SetTolerant(s.tolerant)
 	log.Printf("replaying %s (tolerant=%v)", path, s.tolerant)
+	skip := s.skipRecords
+	var n int64
 	var prev time.Time
 	first := true
 	for {
@@ -610,6 +766,15 @@ func (s *server) feedPcapFile(path string, rate float64) error {
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", path, err)
 		}
+		// The cursor counts records the reader returned, including frames
+		// that fail to decode: their effect (parse counters) is restored
+		// from the daemon snapshot, so a resume skips them without
+		// re-decoding.
+		n++
+		if n <= skip {
+			prev, first = ts, false
+			continue
+		}
 		if rate > 0 && !first {
 			if gap := ts.Sub(prev); gap > 0 {
 				time.Sleep(time.Duration(float64(gap) / rate))
@@ -618,36 +783,49 @@ func (s *server) feedPcapFile(path string, rate float64) error {
 		prev, first = ts, false
 		if s.tolerant {
 			s.ingestRecord(ts, data)
-			continue
-		}
-		p, err := netparse.Decode(data)
-		if err != nil {
+		} else if p, err := netparse.Decode(data); err != nil {
 			// Strict mode still skips undecodable frames, as the
 			// historical reader did and as a gateway would; only the
 			// counters are new.
 			s.countParseError(err)
-			continue
+		} else {
+			p.Timestamp = ts
+			s.feedPacket(p)
 		}
-		p.Timestamp = ts
-		s.feedPacket(p)
+		s.fedRecords.Store(n)
+		if s.maybeCheckpoint() {
+			return errStopped
+		}
 	}
-	s.closeFeed()
-	return nil
+	return s.finishFeed()
 }
 
 // replayPackets feeds packets into the monitor, optionally paced at
-// rate× capture speed (0 = unpaced).
-func replayPackets(s *server, pkts []*netparse.Packet, rate float64) {
+// rate× capture speed (0 = unpaced). Each packet is one feed record:
+// the cursor advances after it is fed, checkpoints land only at record
+// boundaries, and a resume skips the already-consumed prefix.
+func (s *server) replayPackets(pkts []*netparse.Packet, rate float64) error {
+	skip := s.skipRecords
 	var prev time.Time
 	for i, p := range pkts {
-		if rate > 0 && i > 0 {
+		n := int64(i + 1)
+		if n <= skip {
+			prev = p.Timestamp
+			continue
+		}
+		if rate > 0 && !prev.IsZero() {
 			if gap := p.Timestamp.Sub(prev); gap > 0 {
 				time.Sleep(time.Duration(float64(gap) / rate))
 			}
 		}
 		prev = p.Timestamp
 		s.feedPacket(p)
+		s.fedRecords.Store(n)
+		if s.maybeCheckpoint() {
+			return errStopped
+		}
 	}
+	return nil
 }
 
 func readPcap(path string) ([]*netparse.Packet, error) {

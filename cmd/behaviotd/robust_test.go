@@ -34,6 +34,7 @@ func newTestServer(t *testing.T) *server {
 		t.Fatalf("training fixture pipeline: %v", err)
 	}
 	srv := &server{started: time.Now()}
+	srv.pipe = pipe
 	srv.monitor = stream.NewMonitor(pipe, flows.Config{
 		LocalPrefix: tb.LocalPrefix, DeviceByIP: tb.DeviceByIP(),
 	}, stream.Config{})

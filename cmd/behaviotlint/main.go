@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	behaviotlint [-json] [-analyzers determinism,floateq] [patterns...]
+//	behaviotlint [-json] [-analyzers determinism,floateq] [-workers N] [patterns...]
+//
+// Package loading and type-checking fan out across -workers goroutines
+// (0 = all cores); the findings are identical for every worker count.
 //
 // Patterns follow go-tool conventions relative to the module root:
 // "./..." (default), "./internal/...", "./cmd/behaviotd". The module
@@ -46,6 +49,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		debug    = fs.Bool("debug", false, "print type-checker diagnostics to stderr")
 		analyzer = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		list     = fs.Bool("list", false, "list analyzers and exit")
+		workers  = fs.Int("workers", 0, "package loading/type-checking workers (0 = all cores); findings are identical for every value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,11 +90,6 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "behaviotlint:", err)
 		return 2
 	}
-	loader, err := lint.NewLoader(root)
-	if err != nil {
-		fmt.Fprintln(stderr, "behaviotlint:", err)
-		return 2
-	}
 	// Patterns are interpreted relative to the invocation directory so
 	// `behaviotlint ./...` works from a subdirectory too.
 	for i, p := range patterns {
@@ -101,7 +100,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 		}
 	}
-	pkgs, err := loader.Load(patterns...)
+	pkgs, err := lint.LoadParallel(root, *workers, patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "behaviotlint:", err)
 		return 2

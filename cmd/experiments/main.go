@@ -18,15 +18,17 @@ import (
 	"time"
 
 	"behaviot/internal/experiments"
+	"behaviot/internal/modelstore"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiments: periodicity,table2,table3,table4,table5,table9,fig3,fig4a,fig4a5fold,fig4b,fig4c,deviationcases,fig5a,fig5b,headline,ablations,impairment")
+		run     = flag.String("run", "all", "comma-separated experiments: periodicity,table2,table3,table4,table5,table9,fig3,fig4a,fig4a5fold,fig4b,fig4c,deviationcases,fig5a,fig5b,headline,ablations,impairment; or train (with -store) to train and save models without running anything")
 		quick   = flag.Bool("quick", false, "use reduced-scale datasets")
 		days    = flag.Int("days", 87, "uncontrolled study length for fig5")
 		seed    = flag.Int64("seed", 2021, "generation seed")
 		workers = flag.Int("workers", 0, "generation/evaluation worker count (0 = all cores); results are identical for every value")
+		storeP  = flag.String("store", "", "model store directory: -run train saves trained models there; other runs load them instead of retraining (falling back to training if absent or damaged)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "building lab (idle %dd, %d reps, routine %dd)...\n",
 				scale.IdleDays, scale.ActivityReps, scale.RoutineDays)
 			lab = experiments.NewLab(scale)
+			// Load-many half of train-once/load-many: reuse stored models
+			// unless this IS the training run. All store chatter goes to
+			// stderr; stdout stays byte-identical with a trained lab.
+			if *storeP != "" && !want["train"] {
+				if store, err := modelstore.Open(*storeP, modelstore.Options{}); err != nil {
+					fmt.Fprintf(os.Stderr, "model store: %v; training from scratch\n", err)
+				} else if err := lab.LoadModels(store); err != nil {
+					fmt.Fprintf(os.Stderr, "model store: %v; training from scratch\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "loaded trained models from %s (training skipped)\n", *storeP)
+				}
+			}
 		}
 		return lab
 	}
@@ -78,6 +92,30 @@ func main() {
 		fmt.Printf("==== %s ====\n%s\n", title, body)
 	}
 	ran := 0
+
+	// train is never part of "all": it is the explicit train-once step
+	// (CI runs it first, then fans the experiment groups out against the
+	// saved models).
+	if want["train"] {
+		if *storeP == "" {
+			fmt.Fprintln(os.Stderr, "-run train requires -store; see -h")
+			os.Exit(2)
+		}
+		store, err := modelstore.Open(*storeP, modelstore.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "model store: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		gen, err := getLab().SaveModels(store)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saving models: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trained and saved models to %s (generation %d) in %.1fs\n",
+			*storeP, gen, time.Since(start).Seconds())
+		ran++
+	}
 
 	if selected("periodicity") {
 		section("§5.1 periodicity", func() fmt.Stringer { return experiments.Periodicity(*seed, 100) })

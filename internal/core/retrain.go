@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"behaviot/internal/flows"
 )
@@ -37,7 +36,10 @@ func (p *Pipeline) UpdatePeriodicModels(recent []*flows.Flow, cfg PeriodicConfig
 	fresh, _ := InferPeriodicModels(recent, cfg)
 	old := p.Periodic.Models()
 	report := UpdateReport{}
-	for key, m := range fresh {
+	// Iterate both maps in canonical key order so the report lists come
+	// out sorted directly instead of inheriting map iteration order.
+	for _, key := range sortedGroupKeys(fresh) {
+		m := fresh[key]
 		prev, existed := old[key]
 		switch {
 		case !existed:
@@ -49,18 +51,10 @@ func (p *Pipeline) UpdatePeriodicModels(recent []*flows.Flow, cfg PeriodicConfig
 		}
 		old[key] = m
 	}
-	for key := range old {
+	for _, key := range sortedGroupKeys(old) {
 		if _, ok := fresh[key]; !ok {
 			report.Kept = append(report.Kept, key)
 		}
 	}
-	sortKeys(report.Added)
-	sortKeys(report.Drifted)
-	sortKeys(report.Refreshed)
-	sortKeys(report.Kept)
 	return report
-}
-
-func sortKeys(keys []flows.GroupKey) {
-	sort.Slice(keys, func(i, j int) bool { return groupKeyLess(keys[i], keys[j]) })
 }

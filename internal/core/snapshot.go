@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"behaviot/internal/dbscan"
+	"behaviot/internal/dsp"
+	"behaviot/internal/features"
+	"behaviot/internal/flows"
+	"behaviot/internal/pfsm"
+	"behaviot/internal/randomforest"
+	"behaviot/internal/snapio"
+)
+
+// pipelineSnapVersion guards the trained-pipeline wire format. Bump it on
+// any layout change; the model store then refuses stale generations
+// instead of misreading them.
+const pipelineSnapVersion = 1
+
+func encodeGroupKey(w *snapio.Writer, k flows.GroupKey) {
+	w.String(k.Device)
+	w.String(k.Domain)
+	w.String(k.Proto)
+}
+
+func decodeGroupKey(r *snapio.Reader) flows.GroupKey {
+	return flows.GroupKey{Device: r.String(), Domain: r.String(), Proto: r.String()}
+}
+
+func sortedGroupKeys[V any](m map[flows.GroupKey]V) []flows.GroupKey {
+	keys := make([]flows.GroupKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return groupKeyLess(keys[i], keys[j]) })
+	return keys
+}
+
+func encodePeriodicModel(w *snapio.Writer, m *PeriodicModel) {
+	encodeGroupKey(w, m.Key)
+	w.F64(m.Period)
+	w.F64(m.ACF)
+	w.Uint(uint64(len(m.AllPeriods)))
+	for _, p := range m.AllPeriods {
+		w.F64(p.Period)
+		w.F64(p.Power)
+		w.F64(p.ACF)
+	}
+	w.Int(m.FlowCount)
+	w.Bool(m.cluster != nil)
+	if m.cluster != nil {
+		m.cluster.EncodeSnapshot(w)
+	}
+	w.Bool(m.norm != nil)
+	if m.norm != nil {
+		m.norm.EncodeSnapshot(w)
+	}
+}
+
+func decodePeriodicModel(r *snapio.Reader) *PeriodicModel {
+	m := &PeriodicModel{Key: decodeGroupKey(r)}
+	m.Period = r.F64()
+	m.ACF = r.F64()
+	n := r.Length(24)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.AllPeriods = append(m.AllPeriods, dsp.PeriodResult{
+			Period: r.F64(), Power: r.F64(), ACF: r.F64(),
+		})
+	}
+	m.FlowCount = r.Int()
+	if r.Bool() {
+		if m.cluster = dbscan.DecodeModel(r); m.cluster == nil {
+			return nil
+		}
+	}
+	if r.Bool() {
+		if m.norm = features.DecodeNormalizer(r); m.norm == nil {
+			return nil
+		}
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return m
+}
+
+func encodePeriodicConfig(w *snapio.Writer, cfg PeriodicConfig) {
+	w.F64(cfg.Detector.BinSeconds)
+	w.F64(cfg.Detector.PowerSigma)
+	w.F64(cfg.Detector.ACFThreshold)
+	w.Int(cfg.Detector.MinEvents)
+	w.Int(cfg.Detector.MaxPeriods)
+	w.F64(cfg.TimerTolerance)
+	w.F64(cfg.ClusterEps)
+	w.Int(cfg.ClusterMinPts)
+	w.Int(cfg.MinFlows)
+}
+
+func decodePeriodicConfig(r *snapio.Reader) PeriodicConfig {
+	var cfg PeriodicConfig
+	cfg.Detector.BinSeconds = r.F64()
+	cfg.Detector.PowerSigma = r.F64()
+	cfg.Detector.ACFThreshold = r.F64()
+	cfg.Detector.MinEvents = r.Int()
+	cfg.Detector.MaxPeriods = r.Int()
+	cfg.TimerTolerance = r.F64()
+	cfg.ClusterEps = r.F64()
+	cfg.ClusterMinPts = r.Int()
+	cfg.MinFlows = r.Int()
+	return cfg
+}
+
+// EncodeSnapshot serializes the classifier: configuration, every trained
+// periodic model, the streaming timer anchors, and the ablation switches.
+// Maps are written in sorted group-key order so snapshot bytes never
+// depend on map iteration.
+func (pc *PeriodicClassifier) EncodeSnapshot(w *snapio.Writer) {
+	encodePeriodicConfig(w, pc.cfg)
+	w.Bool(pc.DisableCluster)
+	w.Bool(pc.DisableTimer)
+	keys := sortedGroupKeys(pc.models)
+	w.Uint(uint64(len(keys)))
+	for _, k := range keys {
+		encodePeriodicModel(w, pc.models[k])
+	}
+	anchors := sortedGroupKeys(pc.last)
+	w.Uint(uint64(len(anchors)))
+	for _, k := range anchors {
+		encodeGroupKey(w, k)
+		w.Time(pc.last[k])
+	}
+}
+
+// DecodePeriodicClassifier reconstructs a classifier written by
+// EncodeSnapshot.
+func DecodePeriodicClassifier(r *snapio.Reader) *PeriodicClassifier {
+	pc := &PeriodicClassifier{
+		cfg:    decodePeriodicConfig(r),
+		models: make(map[flows.GroupKey]*PeriodicModel),
+		last:   make(map[flows.GroupKey]time.Time),
+	}
+	pc.DisableCluster = r.Bool()
+	pc.DisableTimer = r.Bool()
+	n := r.Length(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m := decodePeriodicModel(r)
+		if m == nil {
+			return nil
+		}
+		pc.models[m.Key] = m
+	}
+	n = r.Length(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := decodeGroupKey(r)
+		t := r.Time()
+		if r.Err() == nil {
+			pc.last[k] = t
+		}
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return pc
+}
+
+func encodeDeviceModels(w *snapio.Writer, dm *deviceModels) {
+	w.F64(dm.threshold)
+	w.Bool(dm.ensemble != nil)
+	if dm.ensemble != nil {
+		dm.ensemble.EncodeSnapshot(w)
+	}
+	w.Bool(dm.multi != nil)
+	if dm.multi != nil {
+		dm.multi.EncodeSnapshot(w)
+	}
+	w.Strings(dm.multiLabels)
+}
+
+func decodeDeviceModels(r *snapio.Reader) *deviceModels {
+	dm := &deviceModels{threshold: r.F64()}
+	if r.Bool() {
+		if dm.ensemble = randomforest.DecodeBinaryEnsemble(r); dm.ensemble == nil {
+			return nil
+		}
+	}
+	if r.Bool() {
+		if dm.multi = randomforest.DecodeForest(r); dm.multi == nil {
+			return nil
+		}
+	}
+	dm.multiLabels = r.Strings()
+	if r.Err() != nil {
+		return nil
+	}
+	return dm
+}
+
+// EncodeSnapshot serializes the per-device user-action ensembles, the
+// shared feature normalizer, and the activity label set.
+func (m *UserActionModels) EncodeSnapshot(w *snapio.Writer) {
+	w.Bool(m.norm != nil)
+	if m.norm != nil {
+		m.norm.EncodeSnapshot(w)
+	}
+	w.Strings(m.labels)
+	devices := make([]string, 0, len(m.byDevice))
+	for d := range m.byDevice {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	w.Uint(uint64(len(devices)))
+	for _, d := range devices {
+		w.String(d)
+		encodeDeviceModels(w, m.byDevice[d])
+	}
+}
+
+// DecodeUserActionModels reconstructs the model set written by
+// EncodeSnapshot.
+func DecodeUserActionModels(r *snapio.Reader) *UserActionModels {
+	m := &UserActionModels{byDevice: make(map[string]*deviceModels)}
+	if r.Bool() {
+		if m.norm = features.DecodeNormalizer(r); m.norm == nil {
+			return nil
+		}
+	}
+	m.labels = r.Strings()
+	n := r.Length(2)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		device := r.String()
+		dm := decodeDeviceModels(r)
+		if dm == nil {
+			return nil
+		}
+		m.byDevice[device] = dm
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return m
+}
+
+// MarshalPipeline serializes a trained pipeline to deterministic snapshot
+// bytes: identical trained state yields identical bytes regardless of
+// worker count or map iteration order.
+func MarshalPipeline(p *Pipeline) []byte {
+	var w snapio.Writer
+	w.U8(pipelineSnapVersion)
+	w.Bool(p.Periodic != nil)
+	if p.Periodic != nil {
+		p.Periodic.EncodeSnapshot(&w)
+	}
+	w.Bool(p.UserAction != nil)
+	if p.UserAction != nil {
+		p.UserAction.EncodeSnapshot(&w)
+	}
+	w.Bool(p.System != nil)
+	if p.System != nil {
+		p.System.EncodeSnapshot(&w)
+	}
+	w.I64(int64(p.TraceGap))
+	w.Bool(p.Baseline != nil)
+	if p.Baseline != nil {
+		w.F64(p.Baseline.ShortTermMean)
+		w.F64(p.Baseline.ShortTermStd)
+		w.F64(p.Baseline.ShortTermSigmas)
+		w.F64(p.Baseline.LongTermZ)
+		w.F64(p.Baseline.PeriodicThreshold)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalPipeline reconstructs a pipeline from MarshalPipeline bytes.
+// Corrupt or truncated input yields an error, never a panic or a
+// half-restored pipeline.
+func UnmarshalPipeline(data []byte) (*Pipeline, error) {
+	r := snapio.NewReader(data)
+	if v := r.U8(); v != pipelineSnapVersion && r.Err() == nil {
+		return nil, fmt.Errorf("pipeline snapshot version %d (want %d)", v, pipelineSnapVersion)
+	}
+	p := &Pipeline{}
+	if r.Bool() {
+		if p.Periodic = DecodePeriodicClassifier(r); p.Periodic == nil {
+			return nil, r.Err()
+		}
+	}
+	if r.Bool() {
+		if p.UserAction = DecodeUserActionModels(r); p.UserAction == nil {
+			return nil, r.Err()
+		}
+	}
+	if r.Bool() {
+		if p.System = pfsm.DecodeModel(r); p.System == nil {
+			return nil, r.Err()
+		}
+	}
+	p.TraceGap = time.Duration(r.I64())
+	if r.Bool() {
+		p.Baseline = &Baseline{
+			ShortTermMean:     r.F64(),
+			ShortTermStd:      r.F64(),
+			ShortTermSigmas:   r.F64(),
+			LongTermZ:         r.F64(),
+			PeriodicThreshold: r.F64(),
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if rem := r.Remaining(); rem != 0 {
+		return nil, fmt.Errorf("pipeline snapshot has %d trailing bytes", rem)
+	}
+	return p, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"behaviot/internal/chaos"
+	"behaviot/internal/flows"
+)
+
+func TestPipelineSnapshotRoundTrip(t *testing.T) {
+	fx := getFixture(t)
+	data := MarshalPipeline(fx.pipe)
+	if len(data) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	restored, err := UnmarshalPipeline(data)
+	if err != nil {
+		t.Fatalf("UnmarshalPipeline: %v", err)
+	}
+	// Re-marshaling the restored pipeline must reproduce the bytes
+	// exactly: the codec loses nothing and adds nothing.
+	again := MarshalPipeline(restored)
+	if !bytes.Equal(data, again) {
+		t.Fatalf("snapshot not stable under round-trip: %d vs %d bytes", len(data), len(again))
+	}
+}
+
+func TestRestoredPipelineClassifiesIdentically(t *testing.T) {
+	fx := getFixture(t)
+	data := MarshalPipeline(fx.pipe)
+	restored, err := UnmarshalPipeline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Classification is stateful (timer anchors); reset both sides to
+	// the same starting point, then compare event-by-event on held-out
+	// idle plus routine traffic.
+	fs := append(append([]*flows.Flow(nil), fx.testIdle...), fx.routine.Flows...)
+	fx.pipe.Periodic.Reset()
+	restored.Periodic.Reset()
+	want := fx.pipe.Classify(fs)
+	got := restored.Classify(fs)
+	if len(want) != len(got) {
+		t.Fatalf("event counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Class != got[i].Class || want[i].Label != got[i].Label ||
+			want[i].Device != got[i].Device || !want[i].Time.Equal(got[i].Time) ||
+			want[i].Confidence != got[i].Confidence {
+			t.Fatalf("event %d differs:\n  trained:  %+v\n  restored: %+v", i, want[i], got[i])
+		}
+	}
+
+	// Deviation machinery must also survive: same traces, same scores.
+	wantDev := fx.pipe.ShortTermDeviations(fx.traces, fx.routine.Flows[0].Start)
+	gotDev := restored.ShortTermDeviations(fx.traces, fx.routine.Flows[0].Start)
+	if len(wantDev) != len(gotDev) {
+		t.Fatalf("short-term deviations differ: %d vs %d", len(wantDev), len(gotDev))
+	}
+	for i := range wantDev {
+		if wantDev[i] != gotDev[i] {
+			t.Fatalf("deviation %d differs: %+v vs %+v", i, wantDev[i], gotDev[i])
+		}
+	}
+}
+
+func TestPipelineSnapshotDeterministic(t *testing.T) {
+	fx := getFixture(t)
+	a := MarshalPipeline(fx.pipe)
+	b := MarshalPipeline(fx.pipe)
+	if !bytes.Equal(a, b) {
+		t.Fatal("marshaling the same pipeline twice produced different bytes")
+	}
+}
+
+func TestPipelineSnapshotRejectsCorruption(t *testing.T) {
+	fx := getFixture(t)
+	data := MarshalPipeline(fx.pipe)
+
+	// Every truncation point must error, never panic.
+	for _, n := range []int{0, 1, len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := UnmarshalPipeline(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Bit flips past the version byte must error or at worst produce a
+	// pipeline (structurally valid bytes exist) — but never panic. Run a
+	// spread of seeds to exercise different flip positions.
+	for seed := int64(0); seed < 8; seed++ {
+		bad := chaos.CorruptFile(data, 1, 0.01, seed)
+		if bytes.Equal(bad, data) {
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: UnmarshalPipeline panicked: %v", seed, r)
+				}
+			}()
+			_, _ = UnmarshalPipeline(bad)
+		}()
+	}
+	// Trailing garbage is corruption too.
+	if _, err := UnmarshalPipeline(append(append([]byte(nil), data...), 0xFF)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package dbscan
+
+import "behaviot/internal/snapio"
+
+// modelSnapVersion guards the trained-model wire format.
+const modelSnapVersion = 1
+
+// EncodeSnapshot serializes the trained cluster model (core points,
+// their labels, the neighborhood configuration). Core points are stored
+// in training order, which is already deterministic, so snapshot bytes
+// are reproducible.
+func (m *Model) EncodeSnapshot(w *snapio.Writer) {
+	w.U8(modelSnapVersion)
+	w.F64(m.cfg.Eps)
+	w.Int(m.cfg.MinPts)
+	w.Int(m.num)
+	w.Uint(uint64(len(m.points)))
+	for _, p := range m.points {
+		w.F64s(p)
+	}
+	w.Ints(m.labels)
+}
+
+// DecodeModel reconstructs a Model written by EncodeSnapshot.
+func DecodeModel(r *snapio.Reader) *Model {
+	if v := r.U8(); v != modelSnapVersion && r.Err() == nil {
+		r.Fail("dbscan snapshot version %d (want %d)", v, modelSnapVersion)
+	}
+	m := &Model{}
+	m.cfg.Eps = r.F64()
+	m.cfg.MinPts = r.Int()
+	m.num = r.Int()
+	n := r.Length(1)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.points = append(m.points, r.F64s())
+	}
+	m.labels = r.Ints()
+	if r.Err() != nil {
+		return nil
+	}
+	if len(m.labels) != len(m.points) {
+		r.Fail("dbscan snapshot: %d labels for %d core points", len(m.labels), len(m.points))
+		return nil
+	}
+	return m
+}

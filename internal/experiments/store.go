@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"behaviot/internal/core"
+	"behaviot/internal/modelstore"
+	"behaviot/internal/pfsm"
+	"behaviot/internal/snapio"
+)
+
+// tracesSnapVersion guards the traces.snap wire format.
+const tracesSnapVersion = 1
+
+// Fingerprint identifies the trained artifacts a Scale produces.
+// Workers is deliberately excluded: training is byte-identical for
+// every worker count, so one snapshot serves all -workers settings.
+func (s Scale) Fingerprint() string {
+	devs := "all"
+	if s.Devices != nil {
+		devs = strings.Join(s.Devices, "+")
+	}
+	return fmt.Sprintf("experiments/v1|idle=%d|reps=%d|routine=%d|seed=%d|devices=%s",
+		s.IdleDays, s.ActivityReps, s.RoutineDays, s.Seed, devs)
+}
+
+// SaveModels trains (if not already trained) and writes the pipeline
+// plus the system-model training traces into the store under the
+// scale's fingerprint. Returns the generation written. This is the
+// "train once" half of train-once/load-many.
+func (l *Lab) SaveModels(store *modelstore.Store) (int, error) {
+	pipe := l.Pipeline()
+	return store.Write(l.Scale.Fingerprint(), map[string][]byte{
+		modelstore.FilePipeline: core.MarshalPipeline(pipe),
+		modelstore.FileTraces:   marshalTraces(l.traces),
+	})
+}
+
+// LoadModels restores the pipeline and traces from the newest intact
+// store generation matching the scale's fingerprint, replacing the
+// training step entirely. Datasets are still generated lazily by the
+// experiments that need raw flows; only training is skipped. On error
+// the lab is unchanged and will train on demand as usual.
+func (l *Lab) LoadModels(store *modelstore.Store) error {
+	snap, err := store.Load(l.Scale.Fingerprint())
+	if err != nil {
+		return err
+	}
+	pipe, err := core.UnmarshalPipeline(snap.Files[modelstore.FilePipeline])
+	if err != nil {
+		return fmt.Errorf("pipeline snapshot: %w", err)
+	}
+	traces, err := unmarshalTraces(snap.Files[modelstore.FileTraces])
+	if err != nil {
+		return fmt.Errorf("traces snapshot: %w", err)
+	}
+	l.pipe = pipe
+	l.traces = traces
+	return nil
+}
+
+// marshalTraces serializes the system-model training traces (needed by
+// Fig 3, the deviation cases, Fig 4, and the ablations, so a loaded lab
+// can run every experiment a trained lab can).
+func marshalTraces(traces []pfsm.Trace) []byte {
+	var w snapio.Writer
+	w.U8(tracesSnapVersion)
+	w.Uint(uint64(len(traces)))
+	for _, tr := range traces {
+		w.Strings(tr)
+	}
+	return w.Bytes()
+}
+
+func unmarshalTraces(data []byte) ([]pfsm.Trace, error) {
+	r := snapio.NewReader(data)
+	if v := r.U8(); v != tracesSnapVersion && r.Err() == nil {
+		return nil, fmt.Errorf("traces snapshot version %d (want %d)", v, tracesSnapVersion)
+	}
+	n := r.Length(1)
+	traces := make([]pfsm.Trace, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		traces = append(traces, pfsm.Trace(r.Strings()))
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if rem := r.Remaining(); rem != 0 {
+		return nil, fmt.Errorf("traces snapshot has %d trailing bytes", rem)
+	}
+	return traces, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"behaviot/internal/core"
+	"behaviot/internal/modelstore"
+)
+
+func TestScaleFingerprintExcludesWorkers(t *testing.T) {
+	a, b := tinyScale(1), tinyScale(8)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints differ by worker count:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	c := tinyScale(1)
+	c.Seed = 999
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different seeds share a fingerprint")
+	}
+	d := tinyScale(1)
+	d.Devices = nil
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("different device sets share a fingerprint")
+	}
+}
+
+// TestLoadedLabEquivalence is the train-once/load-many contract: a lab
+// whose models were loaded from the store must render every experiment
+// identically to the lab that trained them.
+func TestLoadedLabEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a pipeline")
+	}
+	trained := NewLab(tinyScale(0))
+	store, err := modelstore.Open(t.TempDir(), modelstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trained.SaveModels(store)
+	if err != nil {
+		t.Fatalf("SaveModels: %v", err)
+	}
+	if gen != 1 {
+		t.Fatalf("first save wrote generation %d, want 1", gen)
+	}
+
+	loaded := NewLab(tinyScale(0))
+	if err := loaded.LoadModels(store); err != nil {
+		t.Fatalf("LoadModels: %v", err)
+	}
+	// The loaded pipeline must re-marshal to the exact stored bytes.
+	if !bytes.Equal(core.MarshalPipeline(loaded.Pipeline()), core.MarshalPipeline(trained.Pipeline())) {
+		t.Fatal("loaded pipeline marshals differently from the trained one")
+	}
+	if len(loaded.Traces()) != len(trained.Traces()) {
+		t.Fatalf("traces: %d loaded vs %d trained", len(loaded.Traces()), len(trained.Traces()))
+	}
+
+	// Model-driven experiments must render identically: Table 9 exercises
+	// classification end to end, Fig 3 consumes the restored traces, and
+	// the deviation cases exercise both deviation layers.
+	checks := []struct {
+		name string
+		run  func(*Lab) string
+	}{
+		{"table9", func(l *Lab) string { return Table9(l).String() }},
+		{"fig3", func(l *Lab) string { return Fig3(l).String() }},
+		{"deviationcases", func(l *Lab) string { return DeviationCases(l).String() }},
+	}
+	for _, c := range checks {
+		want := c.run(trained)
+		got := c.run(loaded)
+		if want != got {
+			t.Errorf("%s differs between trained and loaded labs:\n--- trained ---\n%s\n--- loaded ---\n%s",
+				c.name, want, got)
+		}
+	}
+
+	// A wrong-fingerprint load must fail, not serve stale models.
+	other := NewLab(tinyScale(0))
+	other.Scale.Seed = 4242
+	if err := other.LoadModels(store); err == nil {
+		t.Error("LoadModels served a snapshot trained under a different seed")
+	}
+}
+
+// TestPipelineSnapshotWorkerInvariant pins snapshot determinism across
+// -workers: training with 1 worker and training with 3 must produce
+// byte-identical pipeline and trace snapshots.
+func TestPipelineSnapshotWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two pipelines")
+	}
+	serial := NewLab(tinyScale(1))
+	parallel3 := NewLab(tinyScale(3))
+	a := core.MarshalPipeline(serial.Pipeline())
+	b := core.MarshalPipeline(parallel3.Pipeline())
+	if !bytes.Equal(a, b) {
+		t.Errorf("pipeline snapshots differ between workers=1 and workers=3 (%d vs %d bytes)", len(a), len(b))
+	}
+	ta := marshalTraces(serial.Traces())
+	tb := marshalTraces(parallel3.Traces())
+	if !bytes.Equal(ta, tb) {
+		t.Errorf("trace snapshots differ between workers=1 and workers=3 (%d vs %d bytes)", len(ta), len(tb))
+	}
+}

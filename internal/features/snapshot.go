@@ -1,0 +1,37 @@
+package features
+
+import "behaviot/internal/snapio"
+
+// normalizerSnapVersion guards the Normalizer wire format.
+const normalizerSnapVersion = 1
+
+// EncodeSnapshot serializes the fitted normalizer. Bytes are a pure
+// function of the fitted statistics (floats as exact bit patterns), so
+// identical fits snapshot identically.
+func (n *Normalizer) EncodeSnapshot(w *snapio.Writer) {
+	w.U8(normalizerSnapVersion)
+	for d := 0; d < Dim; d++ {
+		w.F64(n.mean[d])
+	}
+	for d := 0; d < Dim; d++ {
+		w.F64(n.std[d])
+	}
+}
+
+// DecodeNormalizer reconstructs a Normalizer written by EncodeSnapshot.
+func DecodeNormalizer(r *snapio.Reader) *Normalizer {
+	if v := r.U8(); v != normalizerSnapVersion && r.Err() == nil {
+		r.Fail("normalizer snapshot version %d (want %d)", v, normalizerSnapVersion)
+	}
+	n := &Normalizer{}
+	for d := 0; d < Dim; d++ {
+		n.mean[d] = r.F64()
+	}
+	for d := 0; d < Dim; d++ {
+		n.std[d] = r.F64()
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return n
+}

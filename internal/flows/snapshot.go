@@ -1,0 +1,141 @@
+package flows
+
+import (
+	"sort"
+
+	"behaviot/internal/netparse"
+	"behaviot/internal/snapio"
+)
+
+// Snapshot format versions for flow artifacts.
+const (
+	flowSnapVersion      = 1
+	assemblerSnapVersion = 1
+)
+
+func encodeTuple(w *snapio.Writer, t netparse.FiveTuple) {
+	w.Addr(t.SrcIP)
+	w.Addr(t.DstIP)
+	w.U32(uint32(t.SrcPort))
+	w.U32(uint32(t.DstPort))
+	w.U8(uint8(t.Proto))
+}
+
+func decodeTuple(r *snapio.Reader) netparse.FiveTuple {
+	var t netparse.FiveTuple
+	t.SrcIP = r.Addr()
+	t.DstIP = r.Addr()
+	t.SrcPort = uint16(r.U32())
+	t.DstPort = uint16(r.U32())
+	t.Proto = netparse.Protocol(r.U8())
+	return t
+}
+
+// EncodeFlow serializes one flow burst, including per-packet metadata so
+// a restored monitor computes identical burst features.
+func EncodeFlow(w *snapio.Writer, f *Flow) {
+	w.U8(flowSnapVersion)
+	w.String(f.Device)
+	encodeTuple(w, f.Tuple)
+	w.String(f.Domain)
+	w.String(f.Proto)
+	w.Time(f.Start)
+	w.Time(f.End)
+	w.Uint(uint64(len(f.Packets)))
+	for _, p := range f.Packets {
+		w.Time(p.Time)
+		w.Int(p.Size)
+		w.U8(uint8(p.Dir))
+		w.Bool(p.Local)
+	}
+}
+
+// DecodeFlow reconstructs a flow written by EncodeFlow.
+func DecodeFlow(r *snapio.Reader) *Flow {
+	if v := r.U8(); v != flowSnapVersion && r.Err() == nil {
+		r.Fail("flow snapshot version %d (want %d)", v, flowSnapVersion)
+	}
+	f := &Flow{Device: r.String()}
+	f.Tuple = decodeTuple(r)
+	f.Domain = r.String()
+	f.Proto = r.String()
+	f.Start = r.Time()
+	f.End = r.Time()
+	n := r.Length(4)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		f.Packets = append(f.Packets, PacketMeta{
+			Time:  r.Time(),
+			Size:  r.Int(),
+			Dir:   Direction(r.U8()),
+			Local: r.Bool(),
+		})
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return f
+}
+
+// EncodeState serializes the assembler's streaming state: still-open
+// bursts, closed-but-undrained bursts, and the learned resolver entries.
+// Open bursts are written in sorted key order so snapshot bytes never
+// depend on map iteration. Configuration (burst gap, device map, local
+// prefix) is deliberately NOT serialized; the restoring process supplies
+// it, exactly as it supplied it at initial startup.
+func (a *Assembler) EncodeState(w *snapio.Writer) {
+	w.U8(assemblerSnapVersion)
+
+	keys := make([]flowKey, 0, len(a.active))
+	for k := range a.active {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].device != keys[j].device {
+			return keys[i].device < keys[j].device
+		}
+		return keys[i].tuple.String() < keys[j].tuple.String()
+	})
+	w.Uint(uint64(len(keys)))
+	for _, k := range keys {
+		EncodeFlow(w, a.active[k])
+	}
+
+	w.Uint(uint64(len(a.done)))
+	for _, f := range a.done {
+		EncodeFlow(w, f)
+	}
+
+	a.cfg.Resolver.EncodeSnapshot(w)
+}
+
+// DecodeState restores streaming state written by EncodeState into an
+// assembler constructed with the same configuration.
+func (a *Assembler) DecodeState(r *snapio.Reader) {
+	if v := r.U8(); v != assemblerSnapVersion && r.Err() == nil {
+		r.Fail("assembler snapshot version %d (want %d)", v, assemblerSnapVersion)
+	}
+	active := make(map[flowKey]*Flow)
+	n := r.Length(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		f := DecodeFlow(r)
+		if f == nil {
+			return
+		}
+		active[flowKey{device: f.Device, tuple: f.Tuple}] = f
+	}
+	var done []*Flow
+	n = r.Length(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		f := DecodeFlow(r)
+		if f == nil {
+			return
+		}
+		done = append(done, f)
+	}
+	a.cfg.Resolver.DecodeSnapshot(r)
+	if r.Err() != nil {
+		return
+	}
+	a.active = active
+	a.done = done
+}

@@ -119,6 +119,93 @@ func TestFloatEqFixture(t *testing.T)   { checkFixture(t, "floateq", FloatEq) }
 func TestErrCheckFixture(t *testing.T)  { checkFixture(t, "errcheck", ErrCheck) }
 func TestLockGuardFixture(t *testing.T) { checkFixture(t, "lockguard", LockGuard) }
 
+func TestMapRangeFixture(t *testing.T) {
+	// Like the determinism fixture: register the fixture's package path
+	// as a model package for the duration of the test.
+	defer func(old []string) { ModelPackages = old }(ModelPackages)
+	ModelPackages = append(ModelPackages, "testdata/maprange")
+	checkFixture(t, "maprange", MapRange)
+}
+
+func TestMapRangeSkipsNonModelPackages(t *testing.T) {
+	pkg := loadFixture(t, "maprange")
+	if fs := MapRange.Run(pkg); len(fs) != 0 {
+		t.Errorf("maprange ran outside model packages: %v", fs)
+	}
+}
+
+func TestModelPackageMatching(t *testing.T) {
+	for path, want := range map[string]bool{
+		"behaviot/internal/core":         true,
+		"behaviot/internal/pfsm":         true,
+		"behaviot/internal/randomforest": true,
+		"internal/dbscan":                true,
+		"behaviot/internal/datasets":     false,
+		"behaviot/cmd/behaviotd":         false,
+	} {
+		if got := isModelPackage(path); got != want {
+			t.Errorf("isModelPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestLoadParallelMatchesSerial pins the parallel loader's determinism
+// contract: for any worker count, LoadParallel yields the same packages
+// and the same findings (same positions, same order) as a serial Load.
+func TestLoadParallelMatchesSerial(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handful of real packages plus every fixture directory, so the
+	// comparison covers packages that do produce findings.
+	patterns := []string{
+		"internal/snapio",
+		"internal/parallel",
+		"internal/stats",
+		"internal/lint/testdata/determinism",
+		"internal/lint/testdata/errcheck",
+		"internal/lint/testdata/floateq",
+		"internal/lint/testdata/lockguard",
+		"internal/lint/testdata/maprange",
+	}
+	render := func(pkgs []*Package) string {
+		var sb strings.Builder
+		for _, pkg := range pkgs {
+			fmt.Fprintf(&sb, "package %s (%s)\n", pkg.Path, pkg.Name)
+			for _, f := range Check(pkg, nil) {
+				fmt.Fprintf(&sb, "  %s:%d:%d [%s] %s\n",
+					filepath.Base(f.File), f.Line, f.Col, f.Analyzer, f.Message)
+			}
+		}
+		return sb.String()
+	}
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialPkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := render(serialPkgs)
+	if !strings.Contains(serial, "[errcheck]") {
+		t.Fatalf("serial load produced no errcheck findings; fixture coverage broken:\n%s", serial)
+	}
+
+	for _, workers := range []int{1, 2, 3, 16} {
+		pkgs, err := LoadParallel(root, workers, patterns...)
+		if err != nil {
+			t.Fatalf("LoadParallel(workers=%d): %v", workers, err)
+		}
+		if got := render(pkgs); got != serial {
+			t.Errorf("workers=%d output differs from serial load:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
 func TestIgnoreSemantics(t *testing.T) {
 	pkg := loadFixture(t, "ignore")
 	var got []string

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ModelPackages lists the import-path suffixes of packages that train
+// or evaluate models. Training must be byte-identical for every run and
+// every -workers value (the snapshot store keys trained artifacts by a
+// fingerprint that deliberately excludes the worker count), so code in
+// these packages must not let Go's randomized map iteration order leak
+// into results.
+var ModelPackages = []string{
+	"internal/core",
+	"internal/dbscan",
+	"internal/features",
+	"internal/pfsm",
+	"internal/randomforest",
+}
+
+// MapRange flags order-sensitive accumulation inside `range` loops over
+// maps in model packages: appending to a slice declared outside the
+// loop (element order becomes map-iteration order) and float compound
+// assignment to a variable declared outside the loop (float addition is
+// not associative, so the sum depends on visit order). The canonical
+// fix — collect keys, sort, iterate sorted — is recognized: an appended
+// slice that is later passed to a sort or slices call is not reported.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag order-sensitive accumulation in range-over-map loops in model packages",
+	Run:  runMapRange,
+}
+
+func runMapRange(pkg *Package) []Finding {
+	if !isModelPackage(pkg.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg, file.Pos()) {
+			continue
+		}
+		imports := fileImports(file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, mapRangeFunc(pkg, imports, fn)...)
+		}
+	}
+	return out
+}
+
+// mapRangeFunc reports order-sensitive accumulation in every
+// range-over-map loop of one function.
+func mapRangeFunc(pkg *Package, imports map[string]string, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(pkg, rs.X) {
+			return true
+		}
+		keyObj := rangeKeyObj(pkg, rs)
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch {
+			case isAccumAppend(pkg, as):
+				obj := rootObj(pkg, as.Lhs[0])
+				if obj == nil || insideLoop(obj, rs) || sortedLater(pkg, imports, fn, rs, obj) {
+					return true
+				}
+				out = append(out, finding(pkg, "maprange", as.Pos(),
+					"append to %s inside range over map in model package %s: element order follows map iteration order; sort the result or iterate sorted keys", obj.Name(), pkg.Path))
+			case isFloatCompound(pkg, as):
+				lhs := as.Lhs[0]
+				if writesRangeKeySlot(pkg, lhs, keyObj) {
+					return true // each key visited once: order-independent
+				}
+				obj := rootObj(pkg, lhs)
+				if obj == nil || insideLoop(obj, rs) {
+					return true
+				}
+				out = append(out, finding(pkg, "maprange", as.Pos(),
+					"float accumulation into %s inside range over map in model package %s: float addition is order-sensitive, so the result depends on map iteration order; iterate sorted keys", obj.Name(), pkg.Path))
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+func isModelPackage(path string) bool {
+	for _, m := range ModelPackages {
+		if path == m || strings.HasSuffix(path, "/"+m) || path == strings.TrimPrefix(m, "internal/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isMapExpr reports whether the expression is map-typed. Without type
+// information the loop is skipped (best-effort, like the other typed
+// rules).
+func isMapExpr(pkg *Package, x ast.Expr) bool {
+	tv, ok := pkg.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// rangeKeyObj returns the object of the loop's key variable, or nil.
+func rangeKeyObj(pkg *Package, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Uses[id] // `for k = range m` with an outer k
+}
+
+// isAccumAppend matches `x = append(x, ...)`: a self-append that grows
+// a slice by one map entry per iteration.
+func isAccumAppend(pkg *Package, as *ast.AssignStmt) bool {
+	if (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	if obj := pkg.Info.Uses[fun]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return false // a local function shadowing append
+		}
+	}
+	dst := rootObj(pkg, as.Lhs[0])
+	return dst != nil && dst == rootObj(pkg, call.Args[0])
+}
+
+// isFloatCompound matches `x += v`, `x -= v`, `x *= v`, `x /= v` where
+// x is floating-point. Integer accumulation is associative and safe.
+func isFloatCompound(pkg *Package, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	if len(as.Lhs) != 1 {
+		return false
+	}
+	tv, ok := pkg.Info.Types[as.Lhs[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// writesRangeKeySlot reports whether lhs is an index expression keyed by
+// the loop's own key variable (`out[k] += v`): each map key is visited
+// exactly once, so such writes cannot observe iteration order.
+func writesRangeKeySlot(pkg *Package, lhs ast.Expr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && pkg.Info.Uses[id] == keyObj
+}
+
+// rootObj resolves an lvalue to the object of its leftmost identifier:
+// x, x.f, x[i], and combinations thereof all resolve to x.
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// insideLoop reports whether obj is declared within the loop statement
+// (the key/value variables or anything declared in the body): such
+// values are per-iteration and cannot accumulate across iterations.
+func insideLoop(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// sortedLater reports whether obj is passed to a sort or slices call
+// after the loop in the same function — the collect-then-sort idiom
+// that makes the append order irrelevant.
+func sortedLater(pkg *Package, imports map[string]string, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, ok := packageOf(pkg, imports, sel)
+		if !ok || (path != "sort" && path != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(pkg, arg) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

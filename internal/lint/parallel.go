@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+	"sync"
+
+	"behaviot/internal/parallel"
+)
+
+// lockedImporter serializes a shared stdlib importer so worker loaders
+// can share its package cache: each standard-library package is parsed
+// and type-checked once, by whichever worker needs it first, instead of
+// once per worker. Cache hits pay only the mutex acquire. The stdlib
+// closure dominates loading cost, so sharing it is what makes parallel
+// loading a win rather than N duplicated type-checks.
+type lockedImporter struct {
+	mu  sync.Mutex // guards imp
+	imp types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
+}
+
+// fork creates a Loader sharing this loader's FileSet and stdlib
+// importer but with its own package caches. FileSet methods are
+// synchronized, and the stdlib importer must already be wrapped in a
+// lockedImporter, so forks may load packages concurrently; the per-fork
+// caches keep repo-internal type-checking (which recurses through
+// Import with no cross-goroutine coordination) single-threaded within
+// each fork.
+func (l *Loader) fork() *Loader {
+	return &Loader{
+		Root:   l.Root,
+		Module: l.Module,
+		fset:   l.fset,
+		stdlib: l.stdlib,
+		byDir:  make(map[string]*Package),
+		inFlit: make(map[string]bool),
+	}
+}
+
+// LoadParallel loads the packages matched by patterns like
+// (*Loader).Load, but fans the work out across up to `workers`
+// goroutines (0 = all cores). A Loader is not safe for concurrent use,
+// so each worker gets an independent fork handling a contiguous shard
+// of the matched directories; the forks share one FileSet and one
+// locked stdlib importer, so only repo-internal packages imported
+// across shard boundaries are ever type-checked twice.
+//
+// The result is identical to a serial Load for every worker count:
+// findings carry positions resolved through the shared FileSet, and the
+// returned slice is sorted by import path.
+func LoadParallel(root string, workers int, patterns ...string) ([]*Package, error) {
+	base, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := base.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	w := parallel.Resolve(workers)
+	if w > len(dirs) {
+		w = len(dirs)
+	}
+	if w <= 1 {
+		return base.Load(patterns...)
+	}
+	base.stdlib = &lockedImporter{imp: base.stdlib}
+
+	// Contiguous shards keep sibling packages (which tend to import each
+	// other) in the same fork, so its per-dir cache absorbs most of the
+	// cross-shard duplication.
+	shards := make([][]string, w)
+	per := (len(dirs) + w - 1) / w
+	for i, dir := range dirs {
+		shards[i/per] = append(shards[i/per], dir)
+	}
+
+	var firstErr parallel.FirstError
+	results := parallel.Map(w, shards, func(i int, shard []string) []*Package {
+		ld := base.fork()
+		var out []*Package
+		for _, dir := range shard {
+			pkg, err := ld.LoadDir(dir)
+			if err != nil {
+				firstErr.Report(i, err)
+				return nil
+			}
+			if pkg != nil {
+				out = append(out, pkg)
+			}
+		}
+		return out
+	})
+	if err := firstErr.Err(); err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, r := range results {
+		pkgs = append(pkgs, r...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}

@@ -1,0 +1,115 @@
+// Package maprange exercises the maprange analyzer: order-sensitive
+// accumulation inside range-over-map loops. The test registers this
+// package path as a model package.
+package maprange
+
+import "sort"
+
+// Appending map keys without sorting: element order follows map
+// iteration order.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maprange
+	}
+	return keys
+}
+
+// The canonical collect-then-sort idiom is recognized and not flagged.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with the accumulated slice as an argument also counts.
+func pairsSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Float accumulation: float addition is not associative, so the sum
+// depends on visit order.
+func total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maprange
+	}
+	return sum
+}
+
+// Product accumulation is equally order-sensitive.
+func product(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= 1 + v // want maprange
+	}
+	return p
+}
+
+// Accumulating into a struct field reached through a pointer still
+// roots at a variable declared outside the loop.
+type acc struct{ sum float64 }
+
+func fieldTotal(m map[string]float64, a *acc) {
+	for _, v := range m {
+		a.sum += v // want maprange
+	}
+}
+
+// Integer accumulation is associative: order cannot change the result.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Writes keyed by the loop's own key touch each slot exactly once, so
+// iteration order is irrelevant.
+func scale(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v * 2
+	}
+	return out
+}
+
+// A slice declared inside the loop body is per-iteration state, not an
+// accumulator.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Range over a slice is ordered; nothing to flag.
+func sliceSum(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// A justified suppression survives Check.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:ignore maprange fixture proves suppression works
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,355 @@
+// Package modelstore is a crash-safe, versioned on-disk store for trained
+// BehavIoT artifacts: pipeline snapshots, streaming monitor state, daemon
+// counters, experiment lab traces. Each Write lands a complete new
+// generation directory (gen-000001, gen-000002, …) via the classic
+// temp-dir + fsync + rename protocol, with a manifest written last that
+// carries the format version, a training-configuration fingerprint, and a
+// CRC32C per file. Load verifies every checksum and silently falls back
+// to the newest intact earlier generation when the latest is torn or
+// corrupt — a process killed mid-checkpoint resumes from the previous
+// checkpoint, never from garbage. A retention policy prunes old
+// generations so the store stays bounded.
+package modelstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatVersion guards the store layout (directory structure + manifest
+// schema). Generations written by a different format version are ignored.
+const FormatVersion = 1
+
+// Canonical snapshot file names used across the daemon and experiment
+// pipeline. The store itself accepts any names; these constants keep
+// writers and readers agreeing.
+const (
+	FilePipeline = "pipeline.snap" // core.MarshalPipeline bytes
+	FileMonitor  = "monitor.snap"  // stream.Monitor.MarshalState bytes
+	FileDaemon   = "daemon.snap"   // behaviotd counters/rings/feed cursor
+	FileTraces   = "traces.snap"   // training traces for lab reuse
+)
+
+// ErrNoSnapshot is returned by Load when no intact generation matches.
+var ErrNoSnapshot = errors.New("modelstore: no intact snapshot")
+
+// castagnoli is the CRC32C table (same polynomial as iSCSI/ext4 metadata
+// checksums; better error detection than IEEE for short bursts).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// manifestName is written LAST inside the staging directory: a
+// generation without a readable manifest is by definition torn and is
+// skipped (and garbage-collected) by Load.
+const manifestName = "manifest.json"
+
+const (
+	genPrefix = "gen-"
+	tmpPrefix = ".tmp-"
+)
+
+// fileEntry describes one snapshot file in the manifest.
+type fileEntry struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// manifest is the generation's self-description.
+type manifest struct {
+	FormatVersion int         `json:"format_version"`
+	Fingerprint   string      `json:"fingerprint"`
+	Files         []fileEntry `json:"files"`
+	CreatedUnix   int64       `json:"created_unix,omitempty"`
+}
+
+// Options tunes a store.
+type Options struct {
+	// Retain is how many intact generations to keep (default 3,
+	// minimum 1). Older generations are pruned after a successful
+	// Write.
+	Retain int
+	// Now, if set, stamps manifests with a creation time (unix
+	// seconds). Left nil the stamp is omitted, keeping snapshot
+	// directories byte-deterministic for tests.
+	Now func() int64
+}
+
+// Store is a generation-versioned snapshot directory. Methods are not
+// concurrency-safe; the daemon serializes checkpoints on one goroutine.
+type Store struct {
+	dir    string
+	retain int
+	now    func() int64
+
+	// beforeFile, when non-nil, runs before each staged file write with
+	// the file's name — the kill-mid-write test hook.
+	beforeFile func(name string)
+}
+
+// Snapshot is one intact loaded generation.
+type Snapshot struct {
+	Generation  int
+	Fingerprint string
+	Files       map[string][]byte
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Retain <= 0 {
+		opts.Retain = 3
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	return &Store{dir: dir, retain: opts.Retain, now: opts.Now}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// generations lists the store's gen-N directories, ascending.
+func (s *Store) generations() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []int
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), genPrefix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(e.Name(), genPrefix))
+		if err != nil || n <= 0 {
+			continue
+		}
+		gens = append(gens, n)
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+func (s *Store) genPath(gen int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%06d", genPrefix, gen))
+}
+
+// Latest returns the highest generation number present (0 when empty).
+// Presence does not imply integrity; Load verifies that.
+func (s *Store) Latest() (int, error) {
+	gens, err := s.generations()
+	if err != nil {
+		return 0, err
+	}
+	if len(gens) == 0 {
+		return 0, nil
+	}
+	return gens[len(gens)-1], nil
+}
+
+// Write lands files as a complete new generation and returns its number.
+// The protocol: stage everything in a dot-prefixed temp directory (each
+// file written then fsynced), write the manifest last, fsync the staging
+// directory, rename it into place, fsync the store root. A crash at any
+// point leaves either the previous generation as newest, or a temp/
+// manifest-less directory that Load skips and the next Write sweeps.
+func (s *Store) Write(fingerprint string, files map[string][]byte) (int, error) {
+	latest, err := s.Latest()
+	if err != nil {
+		return 0, fmt.Errorf("modelstore: %w", err)
+	}
+	gen := latest + 1
+
+	m := manifest{FormatVersion: FormatVersion, Fingerprint: fingerprint}
+	if s.now != nil {
+		m.CreatedUnix = s.now()
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		if name == manifestName || name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+			return 0, fmt.Errorf("modelstore: invalid snapshot file name %q", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%s%06d", tmpPrefix, genPrefix, gen))
+	if err := os.RemoveAll(tmp); err != nil {
+		return 0, fmt.Errorf("modelstore: %w", err)
+	}
+	if err := os.Mkdir(tmp, 0o755); err != nil {
+		return 0, fmt.Errorf("modelstore: %w", err)
+	}
+	cleanup := true
+	defer func() {
+		if cleanup {
+			os.RemoveAll(tmp) //lint:ignore errcheck best-effort cleanup after a failed write; a stale staging dir is removed on the next attempt
+		}
+	}()
+
+	for _, name := range names {
+		data := files[name]
+		if s.beforeFile != nil {
+			s.beforeFile(name)
+		}
+		if err := writeFileSync(filepath.Join(tmp, name), data); err != nil {
+			return 0, fmt.Errorf("modelstore: %w", err)
+		}
+		m.Files = append(m.Files, fileEntry{
+			Name:   name,
+			Size:   int64(len(data)),
+			CRC32C: crc32.Checksum(data, castagnoli),
+		})
+	}
+	mdata, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("modelstore: %w", err)
+	}
+	if s.beforeFile != nil {
+		s.beforeFile(manifestName)
+	}
+	if err := writeFileSync(filepath.Join(tmp, manifestName), append(mdata, '\n')); err != nil {
+		return 0, fmt.Errorf("modelstore: %w", err)
+	}
+	if err := syncDir(tmp); err != nil {
+		return 0, fmt.Errorf("modelstore: %w", err)
+	}
+	if err := os.Rename(tmp, s.genPath(gen)); err != nil {
+		return 0, fmt.Errorf("modelstore: %w", err)
+	}
+	cleanup = false
+	if err := syncDir(s.dir); err != nil {
+		return 0, fmt.Errorf("modelstore: %w", err)
+	}
+	s.prune(gen)
+	return gen, nil
+}
+
+// Load returns the newest intact generation whose fingerprint matches
+// (any fingerprint when fp is empty). Generations failing any integrity
+// check — unreadable or version-mismatched manifest, missing files, size
+// or CRC32C mismatch — are skipped in favor of the next older one.
+// ErrNoSnapshot is returned when nothing qualifies.
+func (s *Store) Load(fp string) (*Snapshot, error) {
+	gens, err := s.generations()
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		snap, err := s.loadGeneration(gens[i])
+		if err != nil {
+			continue // torn or corrupt: fall back to the previous one
+		}
+		if fp != "" && snap.Fingerprint != fp {
+			continue // trained under a different configuration
+		}
+		return snap, nil
+	}
+	return nil, ErrNoSnapshot
+}
+
+// loadGeneration reads and fully verifies one generation.
+func (s *Store) loadGeneration(gen int) (*Snapshot, error) {
+	dir := s.genPath(gen)
+	mdata, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(mdata, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("format version %d (want %d)", m.FormatVersion, FormatVersion)
+	}
+	snap := &Snapshot{Generation: gen, Fingerprint: m.Fingerprint, Files: make(map[string][]byte, len(m.Files))}
+	for _, fe := range m.Files {
+		if fe.Name != filepath.Base(fe.Name) {
+			return nil, fmt.Errorf("manifest names non-local file %q", fe.Name)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, fe.Name))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) != fe.Size {
+			return nil, fmt.Errorf("%s: size %d (manifest says %d)", fe.Name, len(data), fe.Size)
+		}
+		if sum := crc32.Checksum(data, castagnoli); sum != fe.CRC32C {
+			return nil, fmt.Errorf("%s: crc32c %08x (manifest says %08x)", fe.Name, sum, fe.CRC32C)
+		}
+		snap.Files[fe.Name] = data
+	}
+	return snap, nil
+}
+
+// prune removes stale temp directories and intact generations beyond the
+// retention count. Only generations OLDER than the newly written one are
+// candidates, and the newest `retain` survivors are kept. Prune errors
+// are deliberately swallowed: a failed cleanup must not fail a
+// checkpoint.
+func (s *Store) prune(newest int) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var gens []int
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.RemoveAll(filepath.Join(s.dir, name)) //lint:ignore errcheck pruning is best-effort; a leftover dir is retried on the next write
+			continue
+		}
+		if !e.IsDir() || !strings.HasPrefix(name, genPrefix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(name, genPrefix))
+		if err != nil || n <= 0 || n > newest {
+			continue
+		}
+		gens = append(gens, n)
+	}
+	sort.Ints(gens)
+	for len(gens) > s.retain {
+		os.RemoveAll(s.genPath(gens[0])) //lint:ignore errcheck pruning is best-effort; a leftover dir is retried on the next write
+		gens = gens[1:]
+	}
+}
+
+// writeFileSync writes data and fsyncs before closing, so the bytes are
+// durable before the directory rename can make them visible.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //lint:ignore errcheck write error already being reported
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:ignore errcheck sync error already being reported
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames/creates within it are durable.
+// Filesystems that refuse directory fsync (some CI overlays) are
+// tolerated: the rename protocol still gives atomicity, just weaker
+// durability.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
+}

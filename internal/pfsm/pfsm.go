@@ -290,6 +290,7 @@ func (m *Model) TraceProb(tr Trace) float64 {
 				}
 			}
 			for s, p := range bestBy {
+				//lint:ignore maprange cur is only ever max-reduced (float max is exact and order-free), so cell order cannot change the result
 				next = append(next, cell{state: s, prob: p})
 			}
 		}

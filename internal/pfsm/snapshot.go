@@ -1,0 +1,78 @@
+package pfsm
+
+import (
+	"sort"
+
+	"behaviot/internal/snapio"
+)
+
+// modelSnapVersion guards the PFSM wire format.
+const modelSnapVersion = 1
+
+// EncodeSnapshot serializes the inferred PFSM: states, transition
+// counts, and the smoothing constant. Transition maps are written in
+// sorted successor order so bytes never depend on map iteration.
+func (m *Model) EncodeSnapshot(w *snapio.Writer) {
+	w.U8(modelSnapVersion)
+	w.F64(m.Alpha)
+	w.Uint(uint64(len(m.States)))
+	for _, s := range m.States {
+		w.String(s.Label)
+	}
+	for _, outs := range m.counts {
+		succs := make([]int, 0, len(outs))
+		for j := range outs {
+			succs = append(succs, j)
+		}
+		sort.Ints(succs)
+		w.Uint(uint64(len(succs)))
+		for _, j := range succs {
+			w.Int(j)
+			w.Int(outs[j])
+		}
+	}
+}
+
+// DecodeModel reconstructs a Model written by EncodeSnapshot, rebuilding
+// the derived label index and outgoing totals.
+func DecodeModel(r *snapio.Reader) *Model {
+	if v := r.U8(); v != modelSnapVersion && r.Err() == nil {
+		r.Fail("pfsm snapshot version %d (want %d)", v, modelSnapVersion)
+	}
+	m := &Model{byLabel: map[string][]int{}, Alpha: r.F64()}
+	numStates := r.Length(1)
+	if r.Err() == nil && numStates < 2 {
+		r.Fail("pfsm snapshot with %d states (INITIAL/TERMINAL missing)", numStates)
+	}
+	for i := 0; i < numStates && r.Err() == nil; i++ {
+		st := State{ID: i, Label: r.String()}
+		m.States = append(m.States, st)
+		m.byLabel[st.Label] = append(m.byLabel[st.Label], i)
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	m.counts = make([]map[int]int, numStates)
+	m.outTotals = make([]int, numStates)
+	for i := 0; i < numStates; i++ {
+		m.counts[i] = map[int]int{}
+		nSucc := r.Length(2)
+		for k := 0; k < nSucc && r.Err() == nil; k++ {
+			j := r.Int()
+			c := r.Int()
+			if r.Err() != nil {
+				break
+			}
+			if j < 0 || j >= numStates || c < 0 {
+				r.Fail("pfsm snapshot: transition %d→%d count %d out of range", i, j, c)
+				break
+			}
+			m.counts[i][j] = c
+			m.outTotals[i] += c
+		}
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return m
+}

@@ -1,0 +1,119 @@
+package randomforest
+
+import "behaviot/internal/snapio"
+
+// Snapshot format versions for the forest artifacts.
+const (
+	forestSnapVersion   = 1
+	ensembleSnapVersion = 1
+)
+
+// node tags in the snapshot stream.
+const (
+	nodeTagLeaf  = 0
+	nodeTagSplit = 1
+)
+
+// maxSnapshotDepth bounds tree recursion while decoding, so a corrupt
+// snapshot cannot overflow the stack. Real trees are capped by
+// Config.MaxDepth (default 16); 64 leaves generous headroom.
+const maxSnapshotDepth = 64
+
+func encodeNode(w *snapio.Writer, n *node) {
+	if n.isLeaf {
+		w.U8(nodeTagLeaf)
+		w.Ints(n.classCounts)
+		return
+	}
+	w.U8(nodeTagSplit)
+	w.Int(n.feature)
+	w.F64(n.threshold)
+	encodeNode(w, n.left)
+	encodeNode(w, n.right)
+}
+
+func decodeNode(r *snapio.Reader, depth int) *node {
+	if r.Err() != nil {
+		return nil
+	}
+	if depth > maxSnapshotDepth {
+		r.Fail("tree deeper than %d", maxSnapshotDepth)
+		return nil
+	}
+	switch tag := r.U8(); tag {
+	case nodeTagLeaf:
+		return &node{isLeaf: true, classCounts: r.Ints()}
+	case nodeTagSplit:
+		n := &node{feature: r.Int(), threshold: r.F64()}
+		n.left = decodeNode(r, depth+1)
+		n.right = decodeNode(r, depth+1)
+		if n.left == nil || n.right == nil {
+			return nil
+		}
+		return n
+	default:
+		r.Fail("unknown node tag %d", tag)
+		return nil
+	}
+}
+
+// EncodeSnapshot serializes a trained forest: every tree's structure,
+// split thresholds as exact float bits, and leaf class counts.
+func (f *Forest) EncodeSnapshot(w *snapio.Writer) {
+	w.U8(forestSnapVersion)
+	w.Int(f.numClasses)
+	w.Uint(uint64(len(f.trees)))
+	for _, t := range f.trees {
+		encodeNode(w, t.root)
+	}
+}
+
+// DecodeForest reconstructs a Forest written by EncodeSnapshot.
+func DecodeForest(r *snapio.Reader) *Forest {
+	if v := r.U8(); v != forestSnapVersion && r.Err() == nil {
+		r.Fail("forest snapshot version %d (want %d)", v, forestSnapVersion)
+	}
+	f := &Forest{numClasses: r.Int()}
+	n := r.Length(1)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		root := decodeNode(r, 0)
+		if root == nil {
+			return nil
+		}
+		f.trees = append(f.trees, &Tree{root: root, numClasses: f.numClasses})
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return f
+}
+
+// EncodeSnapshot serializes a one-vs-rest binary ensemble.
+func (be *BinaryEnsemble) EncodeSnapshot(w *snapio.Writer) {
+	w.U8(ensembleSnapVersion)
+	w.F64(be.Threshold)
+	w.Strings(be.labels)
+	for _, f := range be.forests {
+		f.EncodeSnapshot(w)
+	}
+}
+
+// DecodeBinaryEnsemble reconstructs a BinaryEnsemble written by
+// EncodeSnapshot.
+func DecodeBinaryEnsemble(r *snapio.Reader) *BinaryEnsemble {
+	if v := r.U8(); v != ensembleSnapVersion && r.Err() == nil {
+		r.Fail("ensemble snapshot version %d (want %d)", v, ensembleSnapVersion)
+	}
+	be := &BinaryEnsemble{Threshold: r.F64(), labels: r.Strings()}
+	for range be.labels {
+		f := DecodeForest(r)
+		if f == nil {
+			return nil
+		}
+		be.forests = append(be.forests, f)
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return be
+}

@@ -1,0 +1,370 @@
+// Package snapio is the deterministic binary codec underneath the
+// model-store snapshots (internal/modelstore). Every trained artifact —
+// periodic models, user-action forests, the PFSM, the streaming monitor
+// state — serializes through a Writer and deserializes through a Reader.
+//
+// Two properties matter more than compactness:
+//
+//   - Determinism: the same in-memory state always encodes to the same
+//     bytes, on any machine and for any GOMAPROCS/-workers setting.
+//     Floats are encoded as their exact IEEE-754 bit patterns (never
+//     formatted), and callers must iterate maps in sorted key order.
+//     The snapshot-byte regression tests pin this.
+//   - Corruption safety: a Reader over damaged bytes never panics and
+//     never allocates unbounded memory. Length prefixes are validated
+//     against the remaining input before any allocation, and the first
+//     malformed field makes the error sticky — all further reads return
+//     zero values, and the caller checks Err once at the end.
+//
+// The format is positional (no field tags): decode order must mirror
+// encode order exactly, which is why every snapshot begins with a
+// version number and decoders reject versions they do not know.
+package snapio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+)
+
+// ErrCorrupt is the sticky error a Reader reports for any structurally
+// invalid input: a truncated buffer, an implausible length prefix, or a
+// value a higher-level decoder rejected via Fail.
+var ErrCorrupt = errors.New("snapio: corrupt snapshot data")
+
+// Writer accumulates a deterministic binary encoding. The zero value is
+// ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer. The Writer retains ownership; do not
+// append to the result while continuing to encode.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes encoded so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Bool encodes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+// U8 encodes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U32 encodes a fixed-width little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 encodes a fixed-width little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// Int encodes a signed integer as a zig-zag varint.
+func (w *Writer) Int(v int) { w.buf = binary.AppendVarint(w.buf, int64(v)) }
+
+// I64 encodes an int64 as a zig-zag varint.
+func (w *Writer) I64(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Uint encodes an unsigned integer as a varint. Used for lengths.
+func (w *Writer) Uint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// F64 encodes a float64 as its exact IEEE-754 bit pattern, preserving
+// every bit including negative zero and NaN payloads. This is what makes
+// snapshot bytes reproducible: no decimal formatting is involved.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes8 encodes a length-prefixed byte string.
+func (w *Writer) Bytes8(v []byte) {
+	w.Uint(uint64(len(v)))
+	w.buf = append(w.buf, v...)
+}
+
+// String encodes a length-prefixed string.
+func (w *Writer) String(v string) {
+	w.Uint(uint64(len(v)))
+	w.buf = append(w.buf, v...)
+}
+
+// Time encodes a time.Time as Unix seconds + nanoseconds. The monotonic
+// clock reading and the location are deliberately dropped: snapshots
+// compare and replay in absolute time, and wall-clock locations would
+// make bytes machine-dependent.
+func (w *Writer) Time(t time.Time) {
+	if t.IsZero() {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.I64(t.Unix())
+	w.I64(int64(t.Nanosecond()))
+}
+
+// Addr encodes a netip.Addr via its canonical binary form.
+func (w *Writer) Addr(a netip.Addr) {
+	b, err := a.MarshalBinary()
+	if err != nil {
+		// MarshalBinary on netip.Addr cannot fail today; encode the
+		// zero addr so the snapshot stays structurally valid.
+		b = nil
+	}
+	w.Bytes8(b)
+}
+
+// F64s encodes a length-prefixed []float64.
+func (w *Writer) F64s(vs []float64) {
+	w.Uint(uint64(len(vs)))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// Ints encodes a length-prefixed []int.
+func (w *Writer) Ints(vs []int) {
+	w.Uint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Int(v)
+	}
+}
+
+// Strings encodes a length-prefixed []string.
+func (w *Writer) Strings(vs []string) {
+	w.Uint(uint64(len(vs)))
+	for _, v := range vs {
+		w.String(v)
+	}
+}
+
+// Reader decodes a buffer produced by Writer. The first structural error
+// is sticky: every subsequent read returns a zero value, and Err reports
+// the failure. This lets decoders run straight-line without checking
+// every field.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps data for decoding. The Reader does not copy data.
+func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Fail marks the reader corrupt with a contextual message. Higher-level
+// decoders call it when a structurally valid value is semantically
+// impossible (a negative count, an unknown version).
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.Fail("need %d bytes, have %d", n, r.Remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Bool decodes a boolean.
+func (r *Reader) Bool() bool {
+	b := r.take(1)
+	return b != nil && b[0] != 0
+}
+
+// U8 decodes one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 decodes a fixed-width uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 decodes a fixed-width uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 decodes a varint int64.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.Fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int decodes a varint int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Uint decodes an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.Fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Length decodes a length prefix and validates it against the remaining
+// input, with elemSize the minimum encoded size of one element. This is
+// the allocation guard: a corrupt length can never make a decoder
+// allocate more than the snapshot could actually hold.
+func (r *Reader) Length(elemSize int) int {
+	v := r.Uint()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if v > uint64(r.Remaining()/elemSize) {
+		r.Fail("length %d exceeds remaining input", v)
+		return 0
+	}
+	return int(v)
+}
+
+// F64 decodes a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes8 decodes a length-prefixed byte string (copied out of the
+// underlying buffer).
+func (r *Reader) Bytes8() []byte {
+	n := r.Length(1)
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Length(1)
+	b := r.take(n)
+	return string(b)
+}
+
+// Time decodes a time.Time in UTC.
+func (r *Reader) Time() time.Time {
+	if !r.Bool() {
+		return time.Time{}
+	}
+	sec := r.I64()
+	nsec := r.I64()
+	if r.err != nil {
+		return time.Time{}
+	}
+	if nsec < 0 || nsec > 999_999_999 {
+		r.Fail("nanoseconds %d out of range", nsec)
+		return time.Time{}
+	}
+	return time.Unix(sec, nsec).UTC()
+}
+
+// Addr decodes a netip.Addr.
+func (r *Reader) Addr() netip.Addr {
+	b := r.Bytes8()
+	if r.err != nil {
+		return netip.Addr{}
+	}
+	var a netip.Addr
+	if err := a.UnmarshalBinary(b); err != nil {
+		r.Fail("bad address: %v", err)
+		return netip.Addr{}
+	}
+	return a
+}
+
+// F64s decodes a length-prefixed []float64.
+func (r *Reader) F64s() []float64 {
+	n := r.Length(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Ints decodes a length-prefixed []int.
+func (r *Reader) Ints() []int {
+	n := r.Length(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Strings decodes a length-prefixed []string.
+func (r *Reader) Strings() []string {
+	n := r.Length(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package snapio
+
+import (
+	"bytes"
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestRoundTrip exercises every primitive through an encode/decode
+// cycle, including the float edge cases the bit-pattern encoding must
+// preserve exactly.
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Bool(true)
+	w.Bool(false)
+	w.U8(0xAB)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<63 + 12345)
+	w.Int(-42)
+	w.I64(1<<40 + 7)
+	w.Uint(900)
+	w.F64(3.141592653589793)
+	w.F64(math.Copysign(0, -1)) // negative zero
+	w.F64(math.Inf(-1))
+	w.String("hello")
+	w.Bytes8([]byte{1, 2, 3})
+	ts := time.Date(2023, 4, 5, 6, 7, 8, 910, time.UTC)
+	w.Time(ts)
+	w.Time(time.Time{})
+	w.Addr(netip.MustParseAddr("192.168.1.17"))
+	w.Addr(netip.MustParseAddr("2001:db8::1"))
+	w.F64s([]float64{1.5, -2.25, 0})
+	w.Ints([]int{-1, 0, 1 << 30})
+	w.Strings([]string{"a", "", "ccc"})
+
+	r := NewReader(w.Bytes())
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round trip failed")
+	}
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("u8 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("u32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<63+12345 {
+		t.Errorf("u64 = %d", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Errorf("int = %d", got)
+	}
+	if got := r.I64(); got != 1<<40+7 {
+		t.Errorf("i64 = %d", got)
+	}
+	if got := r.Uint(); got != 900 {
+		t.Errorf("uint = %d", got)
+	}
+	if got := r.F64(); got != 3.141592653589793 {
+		t.Errorf("f64 = %v", got)
+	}
+	if got := r.F64(); !math.Signbit(got) || got != 0 {
+		t.Errorf("negative zero not preserved: %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("-inf not preserved: %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("string = %q", got)
+	}
+	if got := r.Bytes8(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("bytes = %v", got)
+	}
+	if got := r.Time(); !got.Equal(ts) {
+		t.Errorf("time = %v want %v", got, ts)
+	}
+	if got := r.Time(); !got.IsZero() {
+		t.Errorf("zero time = %v", got)
+	}
+	if got := r.Addr(); got != netip.MustParseAddr("192.168.1.17") {
+		t.Errorf("addr = %v", got)
+	}
+	if got := r.Addr(); got != netip.MustParseAddr("2001:db8::1") {
+		t.Errorf("addr6 = %v", got)
+	}
+	if got := r.F64s(); len(got) != 3 || got[1] != -2.25 {
+		t.Errorf("f64s = %v", got)
+	}
+	if got := r.Ints(); len(got) != 3 || got[2] != 1<<30 {
+		t.Errorf("ints = %v", got)
+	}
+	if got := r.Strings(); len(got) != 3 || got[2] != "ccc" {
+		t.Errorf("strings = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes unread", r.Remaining())
+	}
+}
+
+// TestDeterministicBytes pins that two identical encode sequences yield
+// identical bytes — the foundation of the snapshot byte-identity tests.
+func TestDeterministicBytes(t *testing.T) {
+	enc := func() []byte {
+		var w Writer
+		w.F64(0.1 + 0.2)
+		w.Strings([]string{"x", "y"})
+		w.Time(time.Unix(1700000000, 42))
+		return w.Bytes()
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Fatal("identical encodes differ")
+	}
+}
+
+// TestTruncatedInputs feeds every prefix of a valid encoding to the
+// reader and asserts it errors instead of panicking — the corrupt-
+// snapshot guarantee.
+func TestTruncatedInputs(t *testing.T) {
+	var w Writer
+	w.U32(7)
+	w.String("payload")
+	w.F64s([]float64{1, 2, 3})
+	w.Time(time.Unix(99, 0))
+	full := w.Bytes()
+
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		r.U32()
+		_ = r.String()
+		r.F64s()
+		r.Time()
+		if r.Err() == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+}
+
+// TestLengthGuard pins that a huge length prefix is rejected before any
+// allocation could happen.
+func TestLengthGuard(t *testing.T) {
+	var w Writer
+	w.Uint(1 << 40) // a length no 9-byte buffer can hold
+	r := NewReader(w.Bytes())
+	if got := r.F64s(); got != nil {
+		t.Errorf("F64s returned %v for implausible length", got)
+	}
+	if r.Err() == nil {
+		t.Error("implausible length accepted")
+	}
+}
+
+// TestStickyError pins that reads after a failure return zero values
+// and do not clear the error.
+func TestStickyError(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.U64()
+	err := r.Err()
+	if err == nil {
+		t.Fatal("empty read did not error")
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("post-error String = %q", got)
+	}
+	if r.Err() != err {
+		t.Error("error was not sticky")
+	}
+}

@@ -15,13 +15,20 @@ import (
 // and counts instead (load shedding, for live capture where blocking
 // the tap loses packets anyway). This is the behaviotd -queue knob.
 type Queue struct {
-	ch      chan *netparse.Packet
+	ch      chan item
 	dropped atomic.Int64
 
 	mu     sync.RWMutex // guards closed
 	closed bool
 
 	wg sync.WaitGroup
+}
+
+// item is one queue element: a packet, or a flush marker whose ack
+// channel the consumer closes once every earlier packet has been sunk.
+type item struct {
+	p   *netparse.Packet
+	ack chan<- struct{}
 }
 
 // NewQueue starts the consumer goroutine draining up to size queued
@@ -32,12 +39,16 @@ func NewQueue(size int, sink func(*netparse.Packet)) *Queue {
 	if size <= 0 {
 		size = 1024
 	}
-	q := &Queue{ch: make(chan *netparse.Packet, size)}
+	q := &Queue{ch: make(chan item, size)}
 	q.wg.Add(1)
 	go func() {
 		defer q.wg.Done()
-		for p := range q.ch {
-			sink(p)
+		for it := range q.ch {
+			if it.ack != nil {
+				close(it.ack)
+				continue
+			}
+			sink(it.p)
 		}
 	}()
 	return q
@@ -55,7 +66,25 @@ func (q *Queue) Feed(p *netparse.Packet) {
 		q.dropped.Add(1)
 		return
 	}
-	q.ch <- p
+	q.ch <- item{p: p}
+}
+
+// Flush blocks until every packet enqueued before the call has been
+// handed to the sink — the quiescence point checkpointing needs: after
+// Flush returns (and with no concurrent producers) the sink has seen
+// exactly the packets fed so far. It rides the same FIFO channel as
+// packets, so ordering is inherent. Flushing a closed queue returns
+// immediately (Close already drained everything).
+func (q *Queue) Flush() {
+	q.mu.RLock()
+	if q.closed {
+		q.mu.RUnlock()
+		return
+	}
+	done := make(chan struct{})
+	q.ch <- item{ack: done}
+	q.mu.RUnlock()
+	<-done
 }
 
 // Offer enqueues without blocking. When the queue is full (or already
@@ -69,7 +98,7 @@ func (q *Queue) Offer(p *netparse.Packet) bool {
 		return false
 	}
 	select {
-	case q.ch <- p:
+	case q.ch <- item{p: p}:
 		return true
 	default:
 		q.dropped.Add(1)

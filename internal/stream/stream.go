@@ -11,6 +11,7 @@
 package stream
 
 import (
+	"sort"
 	"time"
 
 	"behaviot/internal/core"
@@ -284,8 +285,12 @@ func (m *Monitor) closeTrace() {
 }
 
 // checkSilence raises count-up-timer alarms for modeled groups that have
-// gone quiet (T0 > SilenceFactor × period).
+// gone quiet (T0 > SilenceFactor × period). Fired alarms are sorted
+// before emission: the scan walks a map, and emission order must not
+// depend on the per-process hash seed (deviation logs are diffed in
+// restore-equivalence tests and snapshot bytes include the counter).
 func (m *Monitor) checkSilence() {
+	var fired []core.Deviation
 	for key, last := range m.lastSeen {
 		if m.silenced[key] {
 			continue
@@ -297,7 +302,7 @@ func (m *Monitor) checkSilence() {
 		elapsed := m.clock.Sub(last).Seconds()
 		if elapsed > m.cfg.SilenceFactor*model.Period {
 			m.silenced[key] = true
-			m.emitDeviation(core.Deviation{
+			fired = append(fired, core.Deviation{
 				Kind:   core.DevPeriodic,
 				Time:   m.clock,
 				Score:  core.PeriodicDeviationMetric(elapsed, model.Period),
@@ -305,6 +310,17 @@ func (m *Monitor) checkSilence() {
 				Detail: model.String() + " (silent)",
 			})
 		}
+	}
+	if len(fired) > 1 {
+		sort.Slice(fired, func(i, j int) bool {
+			if fired[i].Device != fired[j].Device {
+				return fired[i].Device < fired[j].Device
+			}
+			return fired[i].Detail < fired[j].Detail
+		})
+	}
+	for _, d := range fired {
+		m.emitDeviation(d)
 	}
 }
 
