@@ -4,8 +4,8 @@
 GO ?= go
 
 .PHONY: all build test race vet lint fmt-check check clean \
-	bench bench-json experiments-quick experiments-expectations \
-	experiments-train fuzz-smoke crash-recovery
+	bench bench-json bench-ratchet experiments-quick \
+	experiments-expectations experiments-train fuzz-smoke crash-recovery
 
 # Date stamp for benchmark artifacts (UTC, override with BENCH_DATE=).
 BENCH_DATE ?= $(shell date -u +%F)
@@ -54,6 +54,20 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x -benchmem ./... | \
 		$(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
+
+## bench-ratchet: run the ingest hot-path benchmarks at a fixed
+## iteration count and ratchet them against the committed
+## BENCH_baseline.json: any allocs/op increase fails (tolerance zero),
+## and on the same CPU model a throughput drop beyond 10% fails too
+## (benchjson skips the throughput comparison across CPU models, so the
+## alloc ratchet still bites on any machine). The fresh report lands in
+## BENCH_ratchet.json for CI to archive. After a deliberate improvement,
+## re-baseline with: cp BENCH_ratchet.json BENCH_baseline.json
+BENCH_RATCHET_ITERS ?= 200000
+bench-ratchet:
+	$(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchmem \
+		-benchtime=$(BENCH_RATCHET_ITERS)x . | \
+		$(GO) run ./cmd/benchjson -out BENCH_ratchet.json -compare BENCH_baseline.json
 
 ## experiments-quick: regenerate every table and figure at reduced scale
 ## with deterministic stdout (timings go to stderr; the recipe is

@@ -67,6 +67,11 @@ import (
 // ringSize bounds the recent-event and recent-deviation buffers.
 const ringSize = 256
 
+// feedBatch caps how many queued packets the -queue consumer drains per
+// monitor-lock acquisition. Under light load batches degenerate to
+// single packets, so latency is unaffected.
+const feedBatch = 64
+
 // server holds the daemon's shared state: mu guards the stream monitor
 // (owned by the feeder goroutine, sampled by HTTP handlers) and ringMu
 // guards the recent-event buffers. They are separate locks because the
@@ -178,9 +183,12 @@ func run() int {
 		return 2
 	}
 	scfg := stream.Config{
-		MaxSkew:     *maxSkew,
-		OnEvent:     func(e stream.Event) { srv.record(&e, nil) },
-		OnDeviation: func(d stream.Deviation) { srv.record(nil, &d) },
+		MaxSkew: *maxSkew,
+		// record drops e.Flow before retaining anything, so the monitor
+		// may recycle flow storage as soon as the callback returns.
+		RecycleFlows: true,
+		OnEvent:      func(e stream.Event) { srv.record(&e, nil) },
+		OnDeviation:  func(d stream.Deviation) { srv.record(nil, &d) },
 	}
 
 	var feed func(*server) error
@@ -209,10 +217,22 @@ func run() int {
 	}
 
 	if *queueLen > 0 {
-		srv.queue = stream.NewQueue(*queueLen, func(p *netparse.Packet) {
+		// Batched hand-off: one monitor-lock acquisition per drained
+		// batch instead of per packet. The sink owns the packets it
+		// receives; pooled ones (and their wire buffers) go back to
+		// their pools here — the recycle point of the ingest path.
+		srv.queue = stream.NewBatchQueue(*queueLen, feedBatch, func(ps []*netparse.Packet) {
 			srv.mu.Lock()
-			srv.monitor.Feed(p)
+			for _, p := range ps {
+				srv.monitor.Feed(p)
+			}
 			srv.mu.Unlock()
+			for _, p := range ps {
+				if buf := p.DetachWire(); buf != nil {
+					pcapio.PutBuf(buf)
+				}
+				netparse.PutPacket(p)
+			}
 		})
 	}
 
@@ -325,17 +345,31 @@ func (s *server) feedPacket(p *netparse.Packet) {
 	s.mu.Unlock()
 }
 
-// ingestRecord decodes one wire record and feeds it. Decode failures
-// are counted per error class and dropped — never fatal. Used by the
-// tolerant replay path and the impaired simulator feed.
-func (s *server) ingestRecord(ts time.Time, data []byte) {
-	p, err := netparse.Decode(data)
-	if err != nil {
+// ingestRecord decodes one wire record into a pooled packet and feeds
+// it. Decode failures are counted per error class and dropped — never
+// fatal. buf, when non-nil, is the pooled record buffer backing data;
+// it travels with the packet to the queue sink (the recycle point), or
+// is recycled here on the direct path once Feed has consumed the
+// packet synchronously.
+func (s *server) ingestRecord(ts time.Time, data []byte, buf *[]byte) {
+	p := netparse.GetPacket()
+	if err := netparse.DecodeInto(p, data); err != nil {
 		s.countParseError(err)
+		netparse.PutPacket(p)
+		pcapio.PutBuf(buf)
 		return
 	}
 	p.Timestamp = ts
-	s.feedPacket(p)
+	p.AttachWire(buf)
+	if s.queue != nil {
+		s.queue.Feed(p) // sink recycles packet and buffer
+		return
+	}
+	s.mu.Lock()
+	s.monitor.Feed(p)
+	s.mu.Unlock()
+	pcapio.PutBuf(p.DetachWire())
+	netparse.PutPacket(p)
 }
 
 func (s *server) countParseError(err error) {
@@ -356,6 +390,11 @@ func (s *server) record(e *stream.Event, d *stream.Deviation) {
 	s.ringMu.Lock()
 	defer s.ringMu.Unlock()
 	if e != nil && e.Class == core.EventUser {
+		// Drop the flow reference before retaining the event: the
+		// monitor recycles flow storage once this callback returns
+		// (Config.RecycleFlows), so the ring must not keep a pointer
+		// into it. The handlers only serve scalar fields anyway.
+		e.Flow = nil
 		s.events = append(s.events, *e)
 		if len(s.events) > ringSize {
 			s.events = s.events[len(s.events)-ringSize:]
@@ -481,6 +520,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		fmt.Fprintf(w, "# TYPE behaviot_checkpoints_total counter\nbehaviot_checkpoints_total %d\n", s.checkpointsTotal.Load())
 		fmt.Fprintf(w, "# TYPE behaviot_store_generation gauge\nbehaviot_store_generation %d\n", s.storeGen.Load())
+		// Absent until the first checkpoint lands: emitting an age
+		// computed from the zero value would report ~56 years of
+		// staleness and trip any freshness alert at startup.
+		if last := s.lastCkptUnix.Load(); last > 0 {
+			age := time.Since(time.Unix(0, last)).Seconds()
+			fmt.Fprintf(w, "# TYPE behaviot_last_checkpoint_age_seconds gauge\nbehaviot_last_checkpoint_age_seconds %g\n", age)
+		}
 	}
 }
 
@@ -633,7 +679,7 @@ func (s *server) feedImpaired(pkts []*netparse.Packet, impair chaos.Config, rate
 			}
 		}
 		prev = r.Time
-		s.ingestRecord(r.Time, r.Data)
+		s.ingestRecord(r.Time, r.Data, nil)
 		s.fedRecords.Store(n)
 		if s.maybeCheckpoint() {
 			return errStopped
@@ -757,13 +803,23 @@ func (s *server) feedPcapFile(path string, rate float64) error {
 	var prev time.Time
 	first := true
 	for {
-		ts, data, err := r.ReadPacket()
+		// Each record is read into a pooled buffer that stays attached
+		// to the decoded packet until the queue sink (or the direct
+		// path, right below) recycles it — the steady-state loop
+		// allocates nothing.
+		buf := pcapio.GetBuf()
+		ts, data, err := r.ReadPacketInto(*buf)
+		if cap(data) > cap(*buf) {
+			*buf = data[:cap(data)] // keep a grown buffer in the pool
+		}
 		s.skippedRecords.Store(r.Skipped())
 		s.skippedBytes.Store(r.SkippedBytes())
 		if errors.Is(err, io.EOF) {
+			pcapio.PutBuf(buf)
 			break
 		}
 		if err != nil {
+			pcapio.PutBuf(buf)
 			return fmt.Errorf("reading %s: %w", path, err)
 		}
 		// The cursor counts records the reader returned, including frames
@@ -773,6 +829,7 @@ func (s *server) feedPcapFile(path string, rate float64) error {
 		n++
 		if n <= skip {
 			prev, first = ts, false
+			pcapio.PutBuf(buf)
 			continue
 		}
 		if rate > 0 && !first {
@@ -781,17 +838,10 @@ func (s *server) feedPcapFile(path string, rate float64) error {
 			}
 		}
 		prev, first = ts, false
-		if s.tolerant {
-			s.ingestRecord(ts, data)
-		} else if p, err := netparse.Decode(data); err != nil {
-			// Strict mode still skips undecodable frames, as the
-			// historical reader did and as a gateway would; only the
-			// counters are new.
-			s.countParseError(err)
-		} else {
-			p.Timestamp = ts
-			s.feedPacket(p)
-		}
+		// Strict mode still skips undecodable frames, as the historical
+		// reader did and as a gateway would (only the reader's resync
+		// behavior differs under -tolerant); ingestRecord counts them.
+		s.ingestRecord(ts, data, buf)
 		s.fedRecords.Store(n)
 		if s.maybeCheckpoint() {
 			return errStopped

@@ -17,6 +17,7 @@ import (
 	"behaviot/internal/core"
 	"behaviot/internal/datasets"
 	"behaviot/internal/flows"
+	"behaviot/internal/modelstore"
 	"behaviot/internal/netparse"
 	"behaviot/internal/stream"
 	"behaviot/internal/testbed"
@@ -186,5 +187,45 @@ func TestPreflightPcapRejectsUnreadable(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), bad) {
 		t.Errorf("preflight error %q does not name the offending file", err)
+	}
+}
+
+// TestMetricsCheckpointAgeGauge pins the checkpoint-age gauge contract:
+// the gauge is absent from /metrics until the first checkpoint lands
+// (an age computed from the zero timestamp would read as decades of
+// staleness and trip any freshness alert at startup), and reports a
+// sane small age once one has.
+func TestMetricsCheckpointAgeGauge(t *testing.T) {
+	srv := newTestServer(t)
+	var err error
+	srv.store, err = modelstore.Open(t.TempDir(), modelstore.Options{})
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+
+	scrape := func() string {
+		rec := httptest.NewRecorder()
+		srv.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec.Body.String()
+	}
+
+	const gauge = "behaviot_last_checkpoint_age_seconds"
+	if body := scrape(); strings.Contains(body, gauge) {
+		t.Errorf("%s exposed before any checkpoint:\n%s", gauge, body)
+	}
+
+	srv.lastCkptUnix.Store(time.Now().Add(-2 * time.Second).UnixNano())
+	body := scrape()
+	re := regexp.MustCompile(`(?m)^` + gauge + ` ([0-9.e+-]+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("%s missing after a checkpoint:\n%s", gauge, body)
+	}
+	age, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("parsing %s value %q: %v", gauge, m[1], err)
+	}
+	if age < 1 || age > 120 {
+		t.Errorf("%s = %v, want roughly 2s", gauge, age)
 	}
 }

@@ -7,6 +7,14 @@
 //
 //	go test -bench=. -benchtime=1x -benchmem ./... | benchjson -out BENCH_2026-08-06.json
 //	benchjson -in bench.txt            # writes BENCH_<today>.json
+//	benchjson -in bench.txt -compare BENCH_baseline.json
+//
+// With -compare the command is a performance ratchet: after writing the
+// report it exits nonzero if any baseline benchmark increased its
+// allocs/op (exact, zero tolerance), dropped throughput by more than
+// -throughput-tolerance on the same CPU model, or disappeared from the
+// run. The default output name honors SOURCE_DATE_EPOCH so scripted
+// runs produce a stable path.
 //
 // Lines that are not benchmark results (test logs, PASS/ok trailers)
 // are ignored, so the full `go test` stream can be piped in unfiltered.
@@ -35,6 +43,9 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// PktsPerSec is the custom pkts/s metric the hot-path benchmarks
+	// report via b.ReportMetric.
+	PktsPerSec float64 `json:"pkts_per_sec,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -47,8 +58,10 @@ type Report struct {
 
 func main() {
 	var (
-		in  = flag.String("in", "", "input file (default: stdin)")
-		out = flag.String("out", "", "output file (default: BENCH_<date>.json)")
+		in      = flag.String("in", "", "input file (default: stdin)")
+		out     = flag.String("out", "", "output file (default: BENCH_<date>.json; date honors SOURCE_DATE_EPOCH)")
+		compare = flag.String("compare", "", "baseline BENCH_*.json to ratchet against: exit nonzero on any allocs/op increase or a throughput drop beyond -throughput-tolerance")
+		thrTol  = flag.Float64("throughput-tolerance", 0.10, "allowed fractional throughput drop vs the -compare baseline (0 disables throughput comparison)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -72,7 +85,18 @@ func main() {
 
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+		// SOURCE_DATE_EPOCH (the reproducible-builds convention) pins
+		// the default artifact name, so a ratchet job diffs a stable
+		// path instead of chasing the wall clock across midnight.
+		now := time.Now()
+		if sde := os.Getenv("SOURCE_DATE_EPOCH"); sde != "" {
+			sec, err := strconv.ParseInt(sde, 10, 64)
+			if err != nil {
+				log.Fatalf("benchjson: bad SOURCE_DATE_EPOCH %q: %v", sde, err)
+			}
+			now = time.Unix(sec, 0)
+		}
+		path = fmt.Sprintf("BENCH_%s.json", now.UTC().Format("2006-01-02"))
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -91,6 +115,96 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s: %d benchmarks", path, len(report.Benchmarks))
+
+	if *compare != "" {
+		base, err := readReport(*compare)
+		if err != nil {
+			log.Fatalf("benchjson: baseline: %v", err)
+		}
+		problems, notes := Compare(base, report, *thrTol)
+		for _, n := range notes {
+			log.Println("note:", n)
+		}
+		for _, p := range problems {
+			log.Println("REGRESSION:", p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		log.Printf("ratchet ok: %d baseline benchmarks within bounds of %s", len(base.Benchmarks), *compare)
+	}
+}
+
+// readReport loads a previously written BENCH_*.json.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Compare ratchets current against baseline. Allocations are exact and
+// machine-independent, so any allocs/op increase on a baseline
+// benchmark is a regression (tolerance zero); a benchmark missing from
+// the current run is too (the ratchet must not silently lose
+// coverage). Throughput is machine-dependent: it is compared only when
+// both reports ran on the same CPU model, and only drops beyond
+// thrTol (a fraction, e.g. 0.10) fail. Improvements come back as notes
+// so the baseline can be re-tightened deliberately.
+func Compare(baseline, current *Report, thrTol float64) (problems, notes []string) {
+	cur := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[r.Pkg+"."+r.Name] = r
+	}
+	cpuMatch := baseline.CPU == current.CPU
+	if !cpuMatch && thrTol > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"cpu mismatch (baseline %q, current %q): throughput not compared; allocs/op still ratcheted",
+			baseline.CPU, current.CPU))
+	}
+	for _, b := range baseline.Benchmarks {
+		key := b.Pkg + "." + b.Name
+		c, ok := cur[key]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: present in baseline but missing from current run", key))
+			continue
+		}
+		switch {
+		case c.AllocsPerOp > b.AllocsPerOp:
+			problems = append(problems, fmt.Sprintf("%s: allocs/op regressed %d -> %d (tolerance 0)",
+				key, b.AllocsPerOp, c.AllocsPerOp))
+		case c.AllocsPerOp < b.AllocsPerOp:
+			notes = append(notes, fmt.Sprintf("%s: allocs/op improved %d -> %d; re-baseline to lock it in",
+				key, b.AllocsPerOp, c.AllocsPerOp))
+		}
+		if cpuMatch && thrTol > 0 {
+			bt, ct := throughput(b), throughput(c)
+			if bt > 0 && ct > 0 && ct < bt*(1-thrTol) {
+				problems = append(problems, fmt.Sprintf(
+					"%s: throughput regressed %.3g -> %.3g (more than %.0f%% drop)",
+					key, bt, ct, thrTol*100))
+			}
+		}
+	}
+	return problems, notes
+}
+
+// throughput returns a comparable rate for a result: the explicit
+// pkts/s metric when the benchmark reports one, otherwise ops/s derived
+// from ns/op.
+func throughput(r Result) float64 {
+	if r.PktsPerSec > 0 {
+		return r.PktsPerSec
+	}
+	if r.NsPerOp > 0 {
+		return 1e9 / r.NsPerOp
+	}
+	return 0
 }
 
 // Parse scans `go test -bench` output and collects every benchmark
@@ -163,6 +277,8 @@ func parseResultLine(line string) (Result, bool) {
 			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "MB/s":
 			res.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		case "pkts/s":
+			res.PktsPerSec, _ = strconv.ParseFloat(val, 64)
 		}
 	}
 	return res, seen

@@ -66,3 +66,121 @@ func TestParseRejectsNonResultLines(t *testing.T) {
 		t.Errorf("accepted junk: %+v", rep.Benchmarks)
 	}
 }
+
+// TestParsePktsPerSec covers the custom pkts/s metric the hot-path
+// benchmarks emit via b.ReportMetric.
+func TestParsePktsPerSec(t *testing.T) {
+	rep, err := Parse(strings.NewReader(
+		"BenchmarkHotPathIngest-8  100  1200 ns/op  833333 pkts/s  0 B/op  0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.PktsPerSec != 833333 {
+		t.Errorf("PktsPerSec = %v, want 833333", b.PktsPerSec)
+	}
+	if b.AllocsPerOp != 0 || b.BytesPerOp != 0 {
+		t.Errorf("allocs/bytes = %d/%d, want 0/0", b.AllocsPerOp, b.BytesPerOp)
+	}
+}
+
+func mkReport(cpu string, rs ...Result) *Report {
+	return &Report{Goos: "linux", Goarch: "amd64", CPU: cpu, Benchmarks: rs}
+}
+
+// TestCompareRatchet pins the ratchet semantics: allocs are exact with
+// zero tolerance, throughput has a fractional band and only applies on
+// matching CPUs, missing benchmarks fail, improvements only note.
+func TestCompareRatchet(t *testing.T) {
+	base := mkReport("cpu0",
+		Result{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 0, PktsPerSec: 1e6},
+		Result{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 3},
+	)
+
+	t.Run("identical run passes", func(t *testing.T) {
+		problems, _ := Compare(base, base, 0.10)
+		if len(problems) != 0 {
+			t.Errorf("problems = %v, want none", problems)
+		}
+	})
+
+	t.Run("alloc regression fails", func(t *testing.T) {
+		cur := mkReport("cpu0",
+			Result{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 1, PktsPerSec: 1e6},
+			Result{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 3},
+		)
+		problems, _ := Compare(base, cur, 0.10)
+		if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op regressed 0 -> 1") {
+			t.Errorf("problems = %v, want one alloc regression", problems)
+		}
+	})
+
+	t.Run("alloc improvement notes only", func(t *testing.T) {
+		cur := mkReport("cpu0",
+			Result{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 0, PktsPerSec: 1e6},
+			Result{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 1},
+		)
+		problems, notes := Compare(base, cur, 0.10)
+		if len(problems) != 0 {
+			t.Errorf("problems = %v, want none", problems)
+		}
+		if len(notes) != 1 || !strings.Contains(notes[0], "improved") {
+			t.Errorf("notes = %v, want one improvement note", notes)
+		}
+	})
+
+	t.Run("throughput drop beyond band fails", func(t *testing.T) {
+		cur := mkReport("cpu0",
+			Result{Name: "A", Pkg: "p", NsPerOp: 2000, AllocsPerOp: 0, PktsPerSec: 0.5e6},
+			Result{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 3},
+		)
+		problems, _ := Compare(base, cur, 0.10)
+		if len(problems) != 1 || !strings.Contains(problems[0], "throughput regressed") {
+			t.Errorf("problems = %v, want one throughput regression", problems)
+		}
+	})
+
+	t.Run("throughput drop within band passes", func(t *testing.T) {
+		cur := mkReport("cpu0",
+			Result{Name: "A", Pkg: "p", NsPerOp: 1050, AllocsPerOp: 0, PktsPerSec: 0.95e6},
+			Result{Name: "B", Pkg: "p", NsPerOp: 1050, AllocsPerOp: 3},
+		)
+		problems, _ := Compare(base, cur, 0.10)
+		if len(problems) != 0 {
+			t.Errorf("problems = %v, want none", problems)
+		}
+	})
+
+	t.Run("cpu mismatch skips throughput, keeps allocs", func(t *testing.T) {
+		cur := mkReport("cpu1",
+			Result{Name: "A", Pkg: "p", NsPerOp: 9000, AllocsPerOp: 2, PktsPerSec: 0.1e6},
+			Result{Name: "B", Pkg: "p", NsPerOp: 9000, AllocsPerOp: 3},
+		)
+		problems, notes := Compare(base, cur, 0.10)
+		if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op regressed") {
+			t.Errorf("problems = %v, want only the alloc regression", problems)
+		}
+		found := false
+		for _, n := range notes {
+			if strings.Contains(n, "cpu mismatch") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("notes = %v, want a cpu-mismatch note", notes)
+		}
+	})
+
+	t.Run("missing benchmark fails", func(t *testing.T) {
+		cur := mkReport("cpu0",
+			Result{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 0, PktsPerSec: 1e6},
+		)
+		problems, _ := Compare(base, cur, 0.10)
+		if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
+			t.Errorf("problems = %v, want one missing-benchmark failure", problems)
+		}
+	})
+}

@@ -69,37 +69,42 @@ func (p *Pipeline) Classify(fs []*flows.Flow) []Event {
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
 	events := make([]Event, 0, len(sorted))
 	for _, f := range sorted {
-		switch {
-		case p.Periodic.Classify(f):
-			events = append(events, Event{
-				Class:  EventPeriodic,
-				Device: f.Device,
-				Label:  f.Key().Proto + "-" + f.Key().Domain,
-				Time:   f.Start,
-				Flow:   f,
-			})
-		default:
-			if label, conf, ok := p.UserAction.Classify(f); ok {
-				events = append(events, Event{
-					Class:      EventUser,
-					Device:     f.Device,
-					Label:      label,
-					Time:       f.Start,
-					Flow:       f,
-					Confidence: conf,
-				})
-			} else {
-				events = append(events, Event{
-					Class:  EventAperiodic,
-					Device: f.Device,
-					Label:  f.Key().Proto + "-" + f.Key().Domain,
-					Time:   f.Start,
-					Flow:   f,
-				})
-			}
-		}
+		events = append(events, p.ClassifyOne(f))
 	}
 	return events
+}
+
+// ClassifyOne classifies a single flow burst, skipping the defensive
+// copy-and-sort and the slice allocations of Classify — the streaming
+// monitor's per-burst path. The classification is identical to what
+// Classify produces for the same flow.
+func (p *Pipeline) ClassifyOne(f *flows.Flow) Event {
+	if p.Periodic.Classify(f) {
+		return Event{
+			Class:  EventPeriodic,
+			Device: f.Device,
+			Label:  f.Key().Proto + "-" + f.Key().Domain,
+			Time:   f.Start,
+			Flow:   f,
+		}
+	}
+	if label, conf, ok := p.UserAction.Classify(f); ok {
+		return Event{
+			Class:      EventUser,
+			Device:     f.Device,
+			Label:      label,
+			Time:       f.Start,
+			Flow:       f,
+			Confidence: conf,
+		}
+	}
+	return Event{
+		Class:  EventAperiodic,
+		Device: f.Device,
+		Label:  f.Key().Proto + "-" + f.Key().Domain,
+		Time:   f.Start,
+		Flow:   f,
+	}
 }
 
 // UserEvents filters the user events from a classified event stream.

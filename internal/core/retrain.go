@@ -44,6 +44,7 @@ func (p *Pipeline) UpdatePeriodicModels(recent []*flows.Flow, cfg PeriodicConfig
 		switch {
 		case !existed:
 			report.Added = append(report.Added, key)
+		//lint:ignore floateq drift ratio and tolerance are both deterministic inputs; the cutoff is a tuning knob and marginal drifts may land on either side by design
 		case math.Abs(m.Period-prev.Period)/prev.Period > DriftTolerance:
 			report.Drifted = append(report.Drifted, key)
 		default:

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"behaviot/internal/dnsdb"
+	"behaviot/internal/lru"
 	"behaviot/internal/netparse"
 )
 
@@ -125,7 +126,32 @@ type Assembler struct {
 	cfg    Config
 	active map[flowKey]*Flow
 	done   []*Flow
+
+	// earliest is a lower bound on the minimum End time across active
+	// flows (zero = unknown, scan on the next flush). FlushClosed uses
+	// it to skip the full active-map scan on packets that cannot have
+	// expired any burst — the scan used to run per packet.
+	earliest time.Time
+
+	// free holds recycled Flow structs (with their Packets capacity)
+	// for reuse by new bursts; see Recycle for the ownership contract.
+	free []*Flow
+
+	// lookup fronts Resolver.Lookup with a small LRU so per-burst
+	// annotation skips the resolver's lock and map on repeat
+	// destinations; lookupGen is the resolver generation the cached
+	// entries were observed at.
+	lookup    *lru.Cache[netip.Addr, string]
+	lookupGen uint64
 }
+
+// maxFreeFlows bounds the recycle freelist; flows recycled beyond it are
+// left to the garbage collector.
+const maxFreeFlows = 4096
+
+// lookupCacheSize bounds the resolver-fronting LRU. Home deployments
+// talk to far fewer distinct destinations than this.
+const lookupCacheSize = 512
 
 // flowKey identifies an in-progress flow: device plus the device-oriented
 // 5-tuple.
@@ -136,7 +162,37 @@ type flowKey struct {
 
 // NewAssembler creates an Assembler with the given configuration.
 func NewAssembler(cfg Config) *Assembler {
-	return &Assembler{cfg: cfg.withDefaults(), active: make(map[flowKey]*Flow)}
+	return &Assembler{
+		cfg:    cfg.withDefaults(),
+		active: make(map[flowKey]*Flow),
+		lookup: lru.New[netip.Addr, string](lookupCacheSize),
+	}
+}
+
+// Recycle returns a flow previously handed out by Flows or FlushClosed
+// to the assembler's freelist, so its storage (including the Packets
+// slice) backs a future burst instead of being reallocated. Ownership
+// transfers back to the assembler: the caller — and anything the caller
+// published the flow to — must not touch the flow afterwards. Recycling
+// is strictly optional; flows that escape are simply collected.
+func (a *Assembler) Recycle(f *Flow) {
+	if f == nil || len(a.free) >= maxFreeFlows {
+		return
+	}
+	pkts := f.Packets[:0]
+	*f = Flow{Packets: pkts}
+	a.free = append(a.free, f)
+}
+
+// newFlow takes a flow from the freelist, or allocates one.
+func (a *Assembler) newFlow() *Flow {
+	if n := len(a.free); n > 0 {
+		f := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return f
+	}
+	return &Flow{}
 }
 
 // Resolver exposes the domain database (useful for callers that want to
@@ -185,16 +241,20 @@ func (a *Assembler) Add(p *netparse.Packet) {
 		ok = false
 	}
 	if !ok {
-		f = &Flow{
-			Device: device,
-			Tuple:  tuple,
-			Proto:  protoLabel(tuple),
-			Start:  p.Timestamp,
-		}
+		f = a.newFlow()
+		f.Device = device
+		f.Tuple = tuple
+		f.Proto = protoLabel(tuple)
+		f.Start = p.Timestamp
 		a.active[key] = f
 	}
 	f.Packets = append(f.Packets, meta)
 	f.End = p.Timestamp
+	// Keep earliest a lower bound on active End times; zero stays zero
+	// (it already forces the next flush to scan and recompute).
+	if !a.earliest.IsZero() && p.Timestamp.Before(a.earliest) {
+		a.earliest = p.Timestamp
+	}
 }
 
 // learnNames extracts DNS answers and TLS SNI from the packet payload.
@@ -230,6 +290,7 @@ func (a *Assembler) Flows() []*Flow {
 		out = append(out, f)
 		delete(a.active, k)
 	}
+	a.earliest = time.Time{}
 	return a.finish(out)
 }
 
@@ -239,14 +300,31 @@ func (a *Assembler) Flows() []*Flow {
 // Still-open bursts stay in the assembler. This is the streaming
 // counterpart of Flows (used by online monitoring, where draining active
 // bursts per packet would fragment every flow).
+//
+// The active map is only scanned when some burst can actually have
+// expired (now is past earliest+gap); on the per-packet fast path this
+// reduces the call to a freelist-style hand-off of already-closed
+// bursts. The earliest bound is conservative, so a flow expires on
+// exactly the same call it would have without the gate.
 func (a *Assembler) FlushClosed(now time.Time) []*Flow {
 	out := a.done
 	a.done = nil
-	for k, f := range a.active {
-		if now.Sub(f.End) > a.cfg.BurstGap {
-			out = append(out, f)
-			delete(a.active, k)
+	if len(a.active) > 0 && now.Sub(a.earliest) > a.cfg.BurstGap {
+		var min time.Time
+		for k, f := range a.active {
+			if now.Sub(f.End) > a.cfg.BurstGap {
+				out = append(out, f)
+				delete(a.active, k)
+				continue
+			}
+			if min.IsZero() || f.End.Before(min) {
+				min = f.End
+			}
 		}
+		a.earliest = min
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return a.finish(out)
 }
@@ -256,20 +334,38 @@ func (a *Assembler) finish(out []*Flow) []*Flow {
 	for _, f := range out {
 		a.annotate(f)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start.Equal(out[j].Start) {
-			return out[i].Tuple.String() < out[j].Tuple.String()
-		}
-		return out[i].Start.Before(out[j].Start)
-	})
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Start.Equal(out[j].Start) {
+				return out[i].Tuple.String() < out[j].Tuple.String()
+			}
+			return out[i].Start.Before(out[j].Start)
+		})
+	}
 	return out
 }
 
-// annotate fills the flow's domain from the resolver.
+// annotate fills the flow's domain from the resolver, through the
+// assembler's LRU. Cached entries are valid for one resolver
+// generation: any resolver mutation resets the cache wholesale (adds
+// are bursty at startup and rare at steady state, so the reset is
+// cheaper than per-entry invalidation).
 func (a *Assembler) annotate(f *Flow) {
-	if f.Domain == "" {
-		f.Domain = a.cfg.Resolver.Lookup(f.Tuple.DstIP)
+	if f.Domain != "" {
+		return
 	}
+	ip := f.Tuple.DstIP
+	if gen := a.cfg.Resolver.Gen(); gen != a.lookupGen {
+		a.lookup.Reset()
+		a.lookupGen = gen
+	}
+	if d, ok := a.lookup.Get(ip); ok {
+		f.Domain = d
+		return
+	}
+	d := a.cfg.Resolver.Lookup(ip)
+	a.lookup.Put(ip, d)
+	f.Domain = d
 }
 
 // protoLabel derives the protocol label from the tuple.

@@ -2,6 +2,7 @@ package flows
 
 import (
 	"sort"
+	"time"
 
 	"behaviot/internal/netparse"
 	"behaviot/internal/snapio"
@@ -138,4 +139,7 @@ func (a *Assembler) DecodeState(r *snapio.Reader) {
 	}
 	a.active = active
 	a.done = done
+	// Restored End times are unknown to the flush gate; zero forces the
+	// next FlushClosed to scan and recompute the bound.
+	a.earliest = time.Time{}
 }

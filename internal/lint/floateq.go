@@ -14,9 +14,16 @@ import (
 // floatcmp.ApproxEqual / floatcmp.IsZero, or restructure the comparison, or
 // suppress with a justified //lint:ignore floateq when exactness is the
 // point (e.g. a divide-by-zero guard).
+//
+// It also flags ordered comparisons (<, <=, >, >=) where one operand is
+// a reference to a named floating-point constant: those are the model
+// cutoffs (thresholds, tolerances) whose boundary behavior flips with a
+// rounding error, and the paper's reported numbers depend on which side
+// of the cutoff a score lands. Ordered comparisons between two computed
+// values are left alone — ordering those is what floats are for.
 var FloatEq = &Analyzer{
 	Name: "floateq",
-	Doc:  "flag ==/!= on floating-point operands outside tests",
+	Doc:  "flag ==/!= on floating-point operands, and </<=/>/>= against named float constants, outside tests",
 	Run:  runFloatEq,
 }
 
@@ -28,18 +35,65 @@ func runFloatEq(pkg *Package) []Finding {
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			be, ok := n.(*ast.BinaryExpr)
-			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			if !ok {
 				return true
 			}
-			if isFloat(pkg, be.X) || isFloat(pkg, be.Y) {
-				out = append(out, finding(pkg, "floateq", be.OpPos,
-					"floating-point %s comparison (%s); use an epsilon comparison such as floatcmp.ApproxEqual, or //lint:ignore floateq <reason> if exactness is intended",
-					be.Op, render(pkg.Fset, be)))
+			switch be.Op {
+			case token.EQL, token.NEQ:
+				if isFloat(pkg, be.X) || isFloat(pkg, be.Y) {
+					out = append(out, finding(pkg, "floateq", be.OpPos,
+						"floating-point %s comparison (%s); use an epsilon comparison such as floatcmp.ApproxEqual, or //lint:ignore floateq <reason> if exactness is intended",
+						be.Op, render(pkg.Fset, be)))
+				}
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if !isFloat(pkg, be.X) && !isFloat(pkg, be.Y) {
+					return true
+				}
+				name := namedFloatConst(pkg, be.X)
+				if name == "" {
+					name = namedFloatConst(pkg, be.Y)
+				}
+				if name != "" {
+					out = append(out, finding(pkg, "floateq", be.OpPos,
+						"ordered floating-point comparison against named cutoff constant %s (%s); rounding decides the boundary — derive the operand deterministically, or //lint:ignore floateq <reason> if the exact cutoff semantics are intended",
+						name, render(pkg.Fset, be)))
+				}
 			}
 			return true
 		})
 	}
 	return out
+}
+
+// namedFloatConst returns the name of the declared floating-point
+// constant e refers to (directly or through a package selector,
+// unwrapping parentheses), or "" when e is not such a reference.
+func namedFloatConst(pkg *Package, e ast.Expr) string {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	c, ok := pkg.Info.ObjectOf(id).(*types.Const)
+	if !ok {
+		return ""
+	}
+	b, ok := c.Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsFloat == 0 {
+		return ""
+	}
+	return c.Name()
 }
 
 // isFloat reports whether e's type is (or is a named type whose

@@ -26,3 +26,36 @@ func Compare(a, b float64, c Celsius, f float32, n int) bool {
 	}
 	return n == 0 // ok: integers compare exactly
 }
+
+// Cutoff is a named model-cutoff constant; ordered comparisons against
+// it are boundary-sensitive and must be flagged.
+const Cutoff = 0.92
+
+// minScore has integer type: ordered comparisons against it are exact.
+const minScore = 3
+
+// Thresholds exercises the ordered-comparison rules.
+func Thresholds(score float64, hits int) bool {
+	if score > Cutoff { // want floateq
+		return true
+	}
+	if Cutoff <= score { // want floateq
+		return true
+	}
+	if (Cutoff) >= score { // want floateq
+		return true
+	}
+
+	//lint:ignore floateq fixture: inclusive cutoff is the documented contract
+	if score < Cutoff {
+		return false
+	}
+	if score > 0.5 { // ok: literal operand, not a named constant
+		return true
+	}
+	if hits > minScore { // ok: integer constant compares exactly
+		return true
+	}
+	other := score * 2
+	return score < other // ok: ordering two computed values
+}

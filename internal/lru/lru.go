@@ -1,0 +1,124 @@
+// Package lru provides a small fixed-capacity LRU cache for the ingest
+// hot path: the flow assembler fronts dnsdb lookups with one, and the
+// destination classifier memoizes party decisions. The implementation is
+// slab-backed — a map from key to slot index plus an intrusive
+// doubly-linked list threaded through a flat entry slice — so a warm
+// cache performs Get and Put without allocating.
+//
+// A Cache is not safe for concurrent use; callers that share one across
+// goroutines wrap it in their own lock (see internal/destinations).
+package lru
+
+// Cache is a fixed-capacity least-recently-used cache. The zero value is
+// not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	index   map[K]int
+	entries []entry[K, V]
+	// head is the most recently used slot, tail the least; -1 when empty.
+	head, tail int
+	capacity   int
+}
+
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next int
+}
+
+// New returns an empty cache holding at most capacity entries. A
+// capacity below 1 is raised to 1.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		index:    make(map[K]int, capacity),
+		entries:  make([]entry[K, V], 0, capacity),
+		head:     -1,
+		tail:     -1,
+		capacity: capacity,
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return len(c.entries) }
+
+// Get returns the cached value for k and marks it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	i, ok := c.index[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(i)
+	return c.entries[i].val, true
+}
+
+// Put inserts or updates the value for k, evicting the least recently
+// used entry when the cache is full.
+func (c *Cache[K, V]) Put(k K, v V) {
+	if i, ok := c.index[k]; ok {
+		c.entries[i].val = v
+		c.moveToFront(i)
+		return
+	}
+	if len(c.entries) < c.capacity {
+		i := len(c.entries)
+		c.entries = append(c.entries, entry[K, V]{key: k, val: v, prev: -1, next: -1})
+		c.index[k] = i
+		c.pushFront(i)
+		return
+	}
+	// Reuse the least recently used slot.
+	i := c.tail
+	delete(c.index, c.entries[i].key)
+	c.entries[i].key = k
+	c.entries[i].val = v
+	c.index[k] = i
+	c.moveToFront(i)
+}
+
+// Reset discards every entry but keeps the allocated storage, so a
+// refilled cache stays allocation-free.
+func (c *Cache[K, V]) Reset() {
+	clear(c.index)
+	c.entries = c.entries[:0]
+	c.head, c.tail = -1, -1
+}
+
+// unlink removes slot i from the recency list.
+func (c *Cache[K, V]) unlink(i int) {
+	e := &c.entries[i]
+	if e.prev >= 0 {
+		c.entries[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next >= 0 {
+		c.entries[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}
+
+// pushFront makes slot i the most recently used.
+func (c *Cache[K, V]) pushFront(i int) {
+	e := &c.entries[i]
+	e.prev, e.next = -1, c.head
+	if c.head >= 0 {
+		c.entries[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+func (c *Cache[K, V]) moveToFront(i int) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}

@@ -1,0 +1,149 @@
+package lru
+
+import "testing"
+
+func TestGetPutEvict(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, tc := range []struct {
+		k string
+		v int
+	}{{"a", 1}, {"c", 3}} {
+		if v, ok := c.Get(tc.k); !ok || v != tc.v {
+			t.Fatalf("Get(%s) = %d, %v; want %d, true", tc.k, v, ok, tc.v)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 9 {
+		t.Fatalf("Get(a) = %d, want 9", v)
+	}
+}
+
+func TestPutRefreshesRecency(t *testing.T) {
+	c := New[int, int](3)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	c.Put(1, 10) // 2 is now LRU
+	c.Put(4, 4)  // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if v, _ := c.Get(1); v != 10 {
+		t.Fatalf("Get(1) = %d, want 10", v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int, int](4)
+	for i := 0; i < 4; i++ {
+		c.Put(i, i)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", c.Len())
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("Reset cache returned a hit")
+	}
+	c.Put(7, 7)
+	if v, ok := c.Get(7); !ok || v != 7 {
+		t.Fatalf("Get(7) after Reset = %d, %v; want 7, true", v, ok)
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (capacity clamped to 1)", c.Len())
+	}
+}
+
+// TestWarmCacheDoesNotAllocate pins the hot-path property the cache
+// exists for: once warm, hits and evicting inserts are allocation-free.
+func TestWarmCacheDoesNotAllocate(t *testing.T) {
+	c := New[int, int](64)
+	for i := 0; i < 128; i++ {
+		c.Put(i, i)
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		c.Get(100)
+		c.Put(200, 200) // evicts; reuses the freed slot
+		c.Get(200)
+	})
+	if n != 0 {
+		t.Fatalf("warm cache allocated %.1f times per op, want 0", n)
+	}
+}
+
+// TestExhaustiveAgainstReference cross-checks the intrusive-list
+// implementation against a straightforward reference model.
+func TestExhaustiveAgainstReference(t *testing.T) {
+	const capacity = 4
+	c := New[int, int](capacity)
+	var order []int // reference recency list, most recent first
+	vals := map[int]int{}
+
+	touch := func(k int) {
+		for i, v := range order {
+			if v == k {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+		order = append([]int{k}, order...)
+	}
+	// A fixed pseudo-random op sequence exercising hits, misses,
+	// updates and evictions.
+	seq := []int{0, 1, 2, 3, 4, 1, 5, 0, 2, 2, 6, 3, 1, 7, 4, 0, 5, 5, 1, 2}
+	for step, k := range seq {
+		if step%3 == 0 {
+			// Put
+			if _, exists := vals[k]; !exists && len(order) == capacity {
+				evicted := order[len(order)-1]
+				order = order[:len(order)-1]
+				delete(vals, evicted)
+			}
+			vals[k] = step
+			c.Put(k, step)
+			touch(k)
+		} else {
+			want, wantOK := vals[k]
+			got, ok := c.Get(k)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: Get(%d) = %d, %v; want %d, %v", step, k, got, ok, want, wantOK)
+			}
+			if ok {
+				touch(k)
+			}
+		}
+		if c.Len() != len(vals) {
+			t.Fatalf("step %d: Len = %d, want %d", step, c.Len(), len(vals))
+		}
+	}
+}

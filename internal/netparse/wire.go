@@ -113,10 +113,24 @@ func Encode(p *Packet) ([]byte, error) {
 // above, so tolerant consumers can count instead of abort;
 // errors.Is(err, ErrTruncated) and friends keep working through it.
 func Decode(data []byte) (*Packet, error) {
-	if len(data) < ethHeaderLen {
-		return nil, parseErr(ClassTruncated, fmt.Errorf("%w: ethernet header", ErrTruncated))
+	p := &Packet{}
+	if err := DecodeInto(p, data); err != nil {
+		return nil, err
 	}
-	p := &Packet{WireLen: len(data)}
+	return p, nil
+}
+
+// DecodeInto is Decode into a caller-provided (typically pooled) Packet,
+// so the steady-state parse path performs no allocation. The previous
+// contents of p — except its pool/wire bookkeeping — are overwritten on
+// success; on error p is left in an unspecified state and must not be
+// fed downstream.
+func DecodeInto(p *Packet, data []byte) error {
+	if len(data) < ethHeaderLen {
+		return parseErr(ClassTruncated, fmt.Errorf("%w: ethernet header", ErrTruncated))
+	}
+	p.resetDecoded()
+	p.WireLen = len(data)
 	copy(p.DstMAC[:], data[0:6])
 	copy(p.SrcMAC[:], data[6:12])
 	ethType := binary.BigEndian.Uint16(data[12:14])
@@ -127,24 +141,24 @@ func Decode(data []byte) (*Packet, error) {
 	switch ethType {
 	case etherTypeIPv4:
 		if len(ip) < ipv4HeaderLen {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: ipv4 header", ErrTruncated))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: ipv4 header", ErrTruncated))
 		}
 		ihl := int(ip[0]&0x0F) * 4
 		if ihl < ipv4HeaderLen || len(ip) < ihl {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: ipv4 options", ErrTruncated))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: ipv4 options", ErrTruncated))
 		}
 		if ipChecksum(ip[:ihl]) != 0 {
-			return nil, parseErr(ClassChecksum, ErrBadChecksum)
+			return parseErr(ClassChecksum, ErrBadChecksum)
 		}
 		totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
 		if totalLen > len(ip) {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: ipv4 total length %d > %d", ErrTruncated, totalLen, len(ip)))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: ipv4 total length %d > %d", ErrTruncated, totalLen, len(ip)))
 		}
 		if totalLen < ihl {
 			// A total length shorter than the header itself is not a
 			// truncation artifact but an inconsistent header (and an
 			// out-of-bounds slice if trusted — the fuzzer's find).
-			return nil, parseErr(ClassMalformed, fmt.Errorf("netparse: ipv4 total length %d < header length %d", totalLen, ihl))
+			return parseErr(ClassMalformed, fmt.Errorf("netparse: ipv4 total length %d < header length %d", totalLen, ihl))
 		}
 		proto = ip[9]
 		p.SrcIP = netip.AddrFrom4([4]byte(ip[12:16]))
@@ -152,24 +166,24 @@ func Decode(data []byte) (*Packet, error) {
 		transport = ip[ihl:totalLen]
 	case etherTypeIPv6:
 		if len(ip) < ipv6HeaderLen {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: ipv6 header", ErrTruncated))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: ipv6 header", ErrTruncated))
 		}
 		payloadLen := int(binary.BigEndian.Uint16(ip[4:6]))
 		proto = ip[6]
 		p.SrcIP = netip.AddrFrom16([16]byte(ip[8:24]))
 		p.DstIP = netip.AddrFrom16([16]byte(ip[24:40]))
 		if ipv6HeaderLen+payloadLen > len(ip) {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: ipv6 payload", ErrTruncated))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: ipv6 payload", ErrTruncated))
 		}
 		transport = ip[ipv6HeaderLen : ipv6HeaderLen+payloadLen]
 	default:
-		return nil, parseErr(ClassUnsupported, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, ethType))
+		return parseErr(ClassUnsupported, fmt.Errorf("%w: ethertype %#04x", ErrUnsupported, ethType))
 	}
 
 	switch Protocol(proto) {
 	case ProtoTCP:
 		if len(transport) < tcpHeaderLen {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: tcp header", ErrTruncated))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: tcp header", ErrTruncated))
 		}
 		p.Proto = ProtoTCP
 		p.SrcPort = binary.BigEndian.Uint16(transport[0:2])
@@ -178,26 +192,26 @@ func Decode(data []byte) (*Packet, error) {
 		p.Ack = binary.BigEndian.Uint32(transport[8:12])
 		dataOff := int(transport[12]>>4) * 4
 		if dataOff < tcpHeaderLen || dataOff > len(transport) {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: tcp data offset", ErrTruncated))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: tcp data offset", ErrTruncated))
 		}
 		p.Flags = TCPFlags(transport[13])
 		p.Payload = transport[dataOff:]
 	case ProtoUDP:
 		if len(transport) < udpHeaderLen {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: udp header", ErrTruncated))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: udp header", ErrTruncated))
 		}
 		p.Proto = ProtoUDP
 		p.SrcPort = binary.BigEndian.Uint16(transport[0:2])
 		p.DstPort = binary.BigEndian.Uint16(transport[2:4])
 		udpLen := int(binary.BigEndian.Uint16(transport[4:6]))
 		if udpLen < udpHeaderLen || udpLen > len(transport) {
-			return nil, parseErr(ClassTruncated, fmt.Errorf("%w: udp length", ErrTruncated))
+			return parseErr(ClassTruncated, fmt.Errorf("%w: udp length", ErrTruncated))
 		}
 		p.Payload = transport[udpHeaderLen:udpLen]
 	default:
-		return nil, parseErr(ClassUnsupported, fmt.Errorf("%w: ip protocol %d", ErrUnsupported, proto))
+		return parseErr(ClassUnsupported, fmt.Errorf("%w: ip protocol %d", ErrUnsupported, proto))
 	}
-	return p, nil
+	return nil
 }
 
 // ipChecksum computes the Internet checksum over b. Computing it over a

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -271,8 +272,19 @@ func (r *Reader) SkippedBytes() int64 { return r.skippedBytes }
 
 // ReadPacket returns the next packet record. It returns io.EOF cleanly at
 // the end of the stream and, in strict mode, ErrTruncated for a partial
-// trailing record; in tolerant mode damage is skipped and counted.
+// trailing record; in tolerant mode damage is skipped and counted. The
+// returned data is freshly allocated; the zero-alloc ingest path uses
+// ReadPacketInto with a pooled buffer instead.
 func (r *Reader) ReadPacket() (ts time.Time, data []byte, err error) {
+	return r.ReadPacketInto(nil)
+}
+
+// ReadPacketInto is ReadPacket reading the record bytes into buf (grown
+// as needed), so a caller recycling buffers — typically through
+// GetBuf/PutBuf — reads the steady-state stream without allocating. The
+// returned data slice aliases buf's storage when it fits; ownership of
+// the record bytes stays with the caller either way.
+func (r *Reader) ReadPacketInto(buf []byte) (ts time.Time, data []byte, err error) {
 	resyncing := false
 	for {
 		hdr, err := r.r.Peek(16)
@@ -317,7 +329,11 @@ func (r *Reader) ReadPacket() (ts time.Time, data []byte, err error) {
 		if _, err := r.r.Discard(16); err != nil {
 			return time.Time{}, nil, err // cannot happen: Peek succeeded
 		}
-		data = make([]byte, capLen)
+		if uint32(cap(buf)) >= capLen {
+			data = buf[:capLen]
+		} else {
+			data = make([]byte, capLen)
+		}
 		if n, err := io.ReadFull(r.r, data); err != nil {
 			if r.tolerant {
 				// Truncated tail: there is no byte stream left to
@@ -366,4 +382,31 @@ func (r *Reader) plausibleHeader(sec, capLen, origLen uint32) bool {
 func (r *Reader) countSkip(n int) {
 	r.skipped++
 	r.skippedBytes += int64(n)
+}
+
+// bufPool recycles record buffers for the zero-alloc ingest path. The
+// pool holds *[]byte (not []byte) so Put does not allocate a slice
+// header, and new buffers start at a capacity covering typical IoT
+// frames; ReadPacketInto grows past it only for jumbo records.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled record buffer for ReadPacketInto. The buffer
+// travels with the decoded packet down the pipeline (see
+// netparse.Packet.AttachWire) and must be returned with PutBuf once the
+// packet has been consumed — the recycle point is the stream.Queue sink
+// boundary.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf recycles a record buffer obtained from GetBuf. The caller must
+// not touch the buffer afterwards.
+func PutBuf(b *[]byte) {
+	if b == nil {
+		return
+	}
+	bufPool.Put(b)
 }

@@ -264,6 +264,7 @@ func NormalQuantile(p float64) float64 {
 		2.445134137142996e+00, 3.754408661907416e+00}
 	const plow = 0.02425
 	switch {
+	//lint:ignore floateq plow is the Acklam approximation's published piecewise breakpoint; the adjacent branches agree to approximation accuracy at the boundary
 	case p < plow:
 		q := math.Sqrt(-2 * math.Log(p))
 		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /

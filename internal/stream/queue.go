@@ -36,20 +36,74 @@ type item struct {
 // that locks (as behaviotd's does) serializes cleanly with samplers.
 // Close must be called to drain and stop the consumer.
 func NewQueue(size int, sink func(*netparse.Packet)) *Queue {
+	return NewBatchQueue(size, 1, func(ps []*netparse.Packet) {
+		for _, p := range ps {
+			sink(p)
+		}
+	})
+}
+
+// NewBatchQueue is NewQueue with batched hand-off: after a blocking
+// receive the consumer greedily drains whatever else is already queued
+// (up to batch packets) and sinks them in one call, so a sink that
+// takes a lock pays it once per batch instead of once per packet. Under
+// light load batches degenerate to single packets — no latency is added
+// waiting for a batch to fill. Arrival order is preserved within and
+// across batches, and a flush marker acks only after the packets queued
+// before it have been sunk.
+func NewBatchQueue(size, batch int, sink func([]*netparse.Packet)) *Queue {
 	if size <= 0 {
 		size = 1024
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	if batch > size {
+		batch = size
 	}
 	q := &Queue{ch: make(chan item, size)}
 	q.wg.Add(1)
 	go func() {
 		defer q.wg.Done()
-		for it := range q.ch {
-			if it.ack != nil {
-				close(it.ack)
-				continue
+		buf := make([]*netparse.Packet, 0, batch)
+		flush := func() {
+			if len(buf) > 0 {
+				sink(buf)
+				buf = buf[:0]
 			}
-			sink(it.p)
 		}
+		for it := range q.ch {
+			for {
+				if it.ack != nil {
+					// Everything queued before the marker is in buf or
+					// already sunk; hand it off before acking.
+					flush()
+					close(it.ack)
+				} else {
+					buf = append(buf, it.p)
+					if len(buf) == batch {
+						flush()
+					}
+				}
+				// Greedily take what is already queued; block again
+				// only when the channel is momentarily empty.
+				var ok bool
+				select {
+				case it, ok = <-q.ch:
+					if !ok {
+						flush()
+						return
+					}
+				default:
+					ok = false
+				}
+				if !ok {
+					break
+				}
+			}
+			flush()
+		}
+		flush()
 	}()
 	return q
 }

@@ -173,5 +173,9 @@ func (m *Monitor) UnmarshalState(data []byte) error {
 	m.lastSeen = lastSeen
 	m.silenced = silenced
 	m.stats = stats
+	// The silence-gate cache describes the pre-restore group maps; zero
+	// forces the next check to rescan and recompute it.
+	m.nextSilence = time.Time{}
+	m.silenceIdle = false
 	return nil
 }

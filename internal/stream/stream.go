@@ -43,6 +43,12 @@ type Config struct {
 	// dragging ancient packets into live flow state. Zero accepts
 	// any lag (the historical behavior).
 	MaxSkew time.Duration
+	// RecycleFlows returns classified flow bursts to the assembler's
+	// freelist after OnEvent runs, so steady-state ingest reuses flow
+	// storage instead of allocating per burst. Enable only when OnEvent
+	// subscribers do not retain e.Flow (or anything reachable from it,
+	// like the Packets slice) past the callback's return.
+	RecycleFlows bool
 	// OnEvent, if set, receives every classified event.
 	OnEvent func(Event)
 	// OnDeviation, if set, receives every significant deviation.
@@ -81,6 +87,14 @@ type Monitor struct {
 	// silenced marks groups already alarmed (re-armed when they recover).
 	lastSeen map[flows.GroupKey]time.Time
 	silenced map[flows.GroupKey]bool
+
+	// nextSilence is a conservative lower bound on the earliest stream
+	// time any silence alarm can fire (zero = unknown, scan on the next
+	// check); silenceIdle short-circuits the check entirely while no
+	// group is armed. Both exist so checkSilence does not walk the
+	// group maps on every packet — a periodic event resets them.
+	nextSilence time.Time
+	silenceIdle bool
 
 	// Counters.
 	stats Stats
@@ -167,8 +181,9 @@ func (m *Monitor) Close() {
 // monitor ride out a corrupted or truncated capture (§7.2's gateway
 // deployment never gets pristine input).
 func (m *Monitor) FeedRecord(ts time.Time, data []byte) {
-	p, err := netparse.Decode(data)
-	if err != nil {
+	p := netparse.GetPacket()
+	defer netparse.PutPacket(p) // Feed consumes the packet synchronously
+	if err := netparse.DecodeInto(p, data); err != nil {
 		m.stats.ParseErrors++
 		if m.stats.ParseErrorsByClass == nil {
 			m.stats.ParseErrorsByClass = map[string]int64{}
@@ -210,11 +225,7 @@ func (m *Monitor) drain(force bool) {
 // classify runs the pipeline on one closed burst and routes the event.
 func (m *Monitor) classify(f *flows.Flow) {
 	m.stats.Flows++
-	events := m.pipe.Classify([]*flows.Flow{f})
-	if len(events) == 0 {
-		return
-	}
-	e := events[0]
+	e := m.pipe.ClassifyOne(f)
 	switch e.Class {
 	case core.EventPeriodic:
 		m.stats.Periodic++
@@ -233,6 +244,9 @@ func (m *Monitor) classify(f *flows.Flow) {
 		}
 		m.lastSeen[key] = e.Time
 		m.silenced[key] = false
+		// Group state changed; force the next silence check to rescan.
+		m.nextSilence = time.Time{}
+		m.silenceIdle = false
 	case core.EventUser:
 		m.stats.User++
 		m.extendTrace(e)
@@ -245,6 +259,9 @@ func (m *Monitor) classify(f *flows.Flow) {
 	// A quiet gap after the last user event closes the trace.
 	if len(m.trace) > 0 && m.clock.Sub(m.lastUser) > m.cfg.TraceGap {
 		m.closeTrace()
+	}
+	if m.cfg.RecycleFlows {
+		m.assembler.Recycle(f)
 	}
 }
 
@@ -289,8 +306,19 @@ func (m *Monitor) closeTrace() {
 // before emission: the scan walks a map, and emission order must not
 // depend on the per-process hash seed (deviation logs are diffed in
 // restore-equivalence tests and snapshot bytes include the counter).
+//
+// The group maps are only walked when some alarm can actually fire: the
+// scan records the earliest armed deadline, and until stream time
+// reaches it (or group state changes) the per-packet call returns
+// immediately. The cached deadline truncates toward zero, so the gate
+// re-scans at or before the float threshold an alarm is compared
+// against — an alarm fires on exactly the packet it always did.
 func (m *Monitor) checkSilence() {
+	if m.silenceIdle || (!m.nextSilence.IsZero() && m.clock.Before(m.nextSilence)) {
+		return
+	}
 	var fired []core.Deviation
+	var next time.Time
 	for key, last := range m.lastSeen {
 		if m.silenced[key] {
 			continue
@@ -309,8 +337,15 @@ func (m *Monitor) checkSilence() {
 				Device: key.Device,
 				Detail: model.String() + " (silent)",
 			})
+			continue
+		}
+		deadline := last.Add(time.Duration(m.cfg.SilenceFactor * model.Period * float64(time.Second)))
+		if next.IsZero() || deadline.Before(next) {
+			next = deadline
 		}
 	}
+	m.nextSilence = next
+	m.silenceIdle = next.IsZero()
 	if len(fired) > 1 {
 		sort.Slice(fired, func(i, j int) bool {
 			if fired[i].Device != fired[j].Device {
