@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check check clean \
+.PHONY: all build test race vet lint lint-cold lint-warm lint-timing \
+	fmt-check check clean \
 	bench bench-json bench-ratchet experiments-quick \
 	experiments-expectations experiments-train fuzz-smoke crash-recovery
 
@@ -32,11 +33,41 @@ vet:
 	$(GO) vet ./...
 
 ## lint: run behaviotlint, the project static-analysis suite
-## (determinism, floateq, errcheck, lockguard, maprange); nonzero exit
-## on findings. Loading fans out across cores (-workers) with identical
-## findings for every worker count.
+## (determinism, floateq, errcheck, lockguard, maprange, poolcheck);
+## nonzero exit on findings. Loading fans out across cores (-workers)
+## with identical findings for every worker count, and the stdlib
+## type-check is served from the on-disk export-data cache
+## (-typecache=on, the default).
 lint:
 	$(GO) run ./cmd/behaviotlint ./...
+
+## lint-cold: behaviotlint with the export-data cache disabled — the
+## stdlib is re-type-checked from $GOROOT/src. Writes the -json report
+## (findings + timing summary) to lint_cold.json.
+lint-cold:
+	$(GO) run ./cmd/behaviotlint -json -typecache=off ./... > lint_cold.json
+
+## lint-warm: behaviotlint with the export-data cache enabled; builds
+## the index on first use. Writes the -json report to lint_warm.json.
+lint-warm:
+	$(GO) run ./cmd/behaviotlint -json -typecache=on ./... > lint_warm.json
+
+## lint-timing: prove the type-check cache is effective — after a cold
+## (source-importer) run and a warm-up pass that may build the index,
+## the cache-served run's stdlib type-check time must be at most half
+## the cold run's. CI runs this in the lint job.
+lint-timing: lint-cold lint-warm
+	@$(GO) run ./cmd/behaviotlint -json ./... > lint_warm.json
+	@cold=$$(grep -o '"typecheck_ms": *[0-9]*' lint_cold.json | grep -o '[0-9]*$$'); \
+	warm=$$(grep -o '"typecheck_ms": *[0-9]*' lint_warm.json | grep -o '[0-9]*$$'); \
+	mode=$$(grep -o '"typecheck_mode": *"[a-z-]*"' lint_warm.json | grep -o '[a-z-]*"$$' | tr -d '"'); \
+	echo "stdlib type-check: cold $${cold}ms, warm $${warm}ms (mode $$mode)"; \
+	if [ "$$mode" != "cache" ]; then \
+		echo "lint-timing: warm run did not hit the export-data cache (mode $$mode)"; exit 1; \
+	fi; \
+	if [ $$((warm * 2)) -gt $$cold ]; then \
+		echo "lint-timing: cache ineffective: warm $${warm}ms vs cold $${cold}ms (need >=2x drop)"; exit 1; \
+	fi
 
 ## fmt-check: fail if any file is not gofmt-formatted
 fmt-check:
@@ -113,7 +144,8 @@ crash-recovery:
 	$(GO) test -run 'TestShutdownDrainsFinalCheckpoint|TestCrashRecoveryEquivalence' -count=1 -v ./cmd/behaviotd/
 
 ## check: everything CI runs
-check: build vet fmt-check lint test race
+check: build vet fmt-check lint lint-timing test race
 
 clean:
 	$(GO) clean ./...
+	rm -f lint_cold.json lint_warm.json

@@ -228,9 +228,9 @@ func run() int {
 			}
 			srv.mu.Unlock()
 			for _, p := range ps {
-				if buf := p.DetachWire(); buf != nil {
-					pcapio.PutBuf(buf)
-				}
+				// PutBuf tolerates nil, so the detach-release pair stays
+				// unconditional (poolcheck R1: balanced on every path).
+				pcapio.PutBuf(p.DetachWire())
 				netparse.PutPacket(p)
 			}
 		})

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	behaviotlint [-json] [-analyzers determinism,floateq] [-workers N] [patterns...]
+//	behaviotlint [-json] [-analyzers determinism,floateq] [-workers N] [-typecache on|off] [patterns...]
 //
 // Package loading and type-checking fan out across -workers goroutines
 // (0 = all cores); the findings are identical for every worker count.
+// With -typecache=on (the default) the standard library is imported
+// from the toolchain's compiled export data through an on-disk index
+// (see internal/lint/cache.go) instead of being re-type-checked from
+// $GOROOT/src on every run; -typecache=off forces the source importer.
+// Both modes produce identical findings.
 //
 // Patterns follow go-tool conventions relative to the module root:
 // "./..." (default), "./internal/...", "./cmd/behaviotd". The module
@@ -17,8 +22,22 @@
 //
 //	internal/stats/stats.go:152:5: [floateq] floating-point == comparison ...
 //
-// or, with -json, a JSON array of {file, line, col, analyzer, message}
-// objects with file paths relative to the module root.
+// or, with -json, an object:
+//
+//	{
+//	  "findings": [{file, line, col, analyzer, message}, ...],
+//	  "summary": {
+//	    "packages": 23, "findings": 0,
+//	    "by_analyzer": {"errcheck": 0, ...},
+//	    "load_ms": 812, "typecheck_ms": 702,
+//	    "typecheck_mode": "cache",
+//	    "analyzers_ms": {"poolcheck": 41, ...}
+//	  }
+//	}
+//
+// with file paths relative to the module root. by_analyzer includes the
+// pseudo-analyzer "lint", which counts malformed //lint:ignore
+// directives (a bare ignore without a reason is itself a finding).
 //
 // Suppress an individual finding with a justified comment on the same
 // line or the line above:
@@ -30,9 +49,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"behaviot/internal/lint"
 )
@@ -41,17 +62,39 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+// summary is the machine-readable tail of -json output; CI greps
+// typecheck_ms out of it to assert the export-data cache is effective.
+type summary struct {
+	Packages      int              `json:"packages"`
+	Findings      int              `json:"findings"`
+	ByAnalyzer    map[string]int   `json:"by_analyzer"`
+	LoadMS        int64            `json:"load_ms"`
+	TypecheckMS   int64            `json:"typecheck_ms"`
+	TypecheckMode string           `json:"typecheck_mode"`
+	AnalyzersMS   map[string]int64 `json:"analyzers_ms"`
+}
+
+type report struct {
+	Findings []lint.Finding `json:"findings"`
+	Summary  summary        `json:"summary"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("behaviotlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
-		debug    = fs.Bool("debug", false, "print type-checker diagnostics to stderr")
-		analyzer = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		list     = fs.Bool("list", false, "list analyzers and exit")
-		workers  = fs.Int("workers", 0, "package loading/type-checking workers (0 = all cores); findings are identical for every value")
+		jsonOut   = fs.Bool("json", false, "emit findings plus a timing summary as JSON")
+		debug     = fs.Bool("debug", false, "print type-checker diagnostics to stderr")
+		analyzer  = fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		list      = fs.Bool("list", false, "list analyzers and exit")
+		workers   = fs.Int("workers", 0, "package loading/type-checking workers (0 = all cores); findings are identical for every value")
+		typecache = fs.String("typecache", "on", "stdlib type-check strategy: on = import compiled export data via the on-disk cache, off = re-type-check $GOROOT/src")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *typecache != "on" && *typecache != "off" {
+		fmt.Fprintf(stderr, "behaviotlint: -typecache must be on or off, got %q\n", *typecache)
 		return 2
 	}
 	if *list {
@@ -100,12 +143,15 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 		}
 	}
-	pkgs, err := lint.LoadParallel(root, *workers, patterns...)
+	loadStart := time.Now()
+	pkgs, stats, err := lint.LoadWith(root, *workers, *typecache == "on", patterns...)
+	loadDur := time.Since(loadStart)
 	if err != nil {
 		fmt.Fprintln(stderr, "behaviotlint:", err)
 		return 2
 	}
 
+	perAnalyzer := make(map[string]time.Duration)
 	var findings []lint.Finding
 	for _, pkg := range pkgs {
 		if *debug {
@@ -113,7 +159,7 @@ func run(args []string, stdout, stderr *os.File) int {
 				fmt.Fprintf(stderr, "behaviotlint: %s: typecheck: %v\n", pkg.Path, terr)
 			}
 		}
-		findings = append(findings, lint.Check(pkg, analyzers)...)
+		findings = append(findings, lint.CheckInto(pkg, analyzers, perAnalyzer)...)
 	}
 	for i := range findings {
 		if rel, err := filepath.Rel(root, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
@@ -123,12 +169,30 @@ func run(args []string, stdout, stderr *os.File) int {
 	lint.SortFindings(findings)
 
 	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []lint.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		sum := summary{
+			Packages:      len(pkgs),
+			Findings:      len(findings),
+			ByAnalyzer:    make(map[string]int),
+			LoadMS:        loadDur.Milliseconds(),
+			TypecheckMS:   time.Duration(stats.TypecheckNanos.Load()).Milliseconds(),
+			TypecheckMode: string(stats.Mode),
+			AnalyzersMS:   make(map[string]int64),
+		}
+		for _, a := range analyzers {
+			sum.ByAnalyzer[a.Name] = 0
+		}
+		for _, f := range findings {
+			sum.ByAnalyzer[f.Analyzer]++
+		}
+		for name, d := range perAnalyzer {
+			sum.AnalyzersMS[name] = d.Milliseconds()
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Findings: findings, Summary: sum}); err != nil {
 			fmt.Fprintln(stderr, "behaviotlint:", err)
 			return 2
 		}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// This file implements the on-disk export-data cache that lets
+// behaviotlint skip re-type-checking the standard library from source
+// on every run. The source importer pays a serialized ~3 s to parse
+// and check the stdlib closure; the gc toolchain has already done that
+// work and left compiled export data in the build cache. One
+// `go list -export -deps std` resolves every stdlib import path to its
+// export file, and go/importer's "gc" mode reads those in tens of
+// milliseconds.
+//
+// The index (import path -> export file) is itself cached as JSON
+// under os.UserCacheDir()/behaviotlint (override with
+// $BEHAVIOTLINT_CACHE_DIR), keyed by toolchain version and GOROOT, so
+// the go list call is paid once per toolchain, not per run. Export
+// files live in GOCACHE and can be pruned behind our back, so every
+// file is stat-checked before the index is trusted; any miss rebuilds
+// the index. The cache is all-or-nothing: mixing gc-imported and
+// source-imported stdlib packages would produce distinct
+// *types.Package identities for the same path and break cross-package
+// type identity, so on any failure the loader falls back to the
+// source importer for everything.
+
+// TypeCheckMode names how a loader resolves stdlib imports.
+type TypeCheckMode string
+
+const (
+	// ModeSource type-checks the standard library from $GOROOT/src.
+	ModeSource TypeCheckMode = "source"
+	// ModeCache reads gc export data through an index found on disk.
+	ModeCache TypeCheckMode = "cache"
+	// ModeCacheCold reads gc export data through an index (re)built by
+	// this run — the once-per-toolchain cold start.
+	ModeCacheCold TypeCheckMode = "cache-cold"
+)
+
+// cacheEnvVar overrides the cache directory (hermetic tests, CI).
+const cacheEnvVar = "BEHAVIOTLINT_CACHE_DIR"
+
+// exportIndex maps stdlib import paths to gc export-data files for one
+// toolchain.
+type exportIndex struct {
+	GoVersion string            `json:"go_version"`
+	Goroot    string            `json:"goroot"`
+	Exports   map[string]string `json:"exports"`
+}
+
+func cacheDir() (string, error) {
+	if d := os.Getenv(cacheEnvVar); d != "" {
+		return d, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "behaviotlint"), nil
+}
+
+// indexPath derives the index file for the running toolchain. Version
+// and GOROOT are part of the name, so toolchains never collide.
+func indexPath() (string, error) {
+	dir, err := cacheDir()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(runtime.Version() + "\x00" + runtime.GOROOT()))
+	return filepath.Join(dir, "stdlib-exports-"+hex.EncodeToString(sum[:8])+".json"), nil
+}
+
+// loadExportIndex returns a still-valid index from disk, or nil when
+// there is none (missing, wrong toolchain, or pruned export files).
+func loadExportIndex() *exportIndex {
+	path, err := indexPath()
+	if err != nil {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var idx exportIndex
+	if json.Unmarshal(data, &idx) != nil {
+		return nil
+	}
+	if idx.GoVersion != runtime.Version() || idx.Goroot != runtime.GOROOT() || len(idx.Exports) == 0 {
+		return nil
+	}
+	// GOCACHE prunes entries independently of us: trust the index only
+	// if every export file is still present.
+	for _, f := range idx.Exports {
+		if _, err := os.Stat(f); err != nil {
+			return nil
+		}
+	}
+	return &idx
+}
+
+// buildExportIndex shells out to the go tool to produce (and, as a
+// side effect, compile if needed) export data for the whole standard
+// library, then persists the index for later runs. dir anchors the go
+// invocation inside the module.
+func buildExportIndex(dir string) (*exportIndex, error) {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}", "std")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export std: %v: %s", err, strings.TrimSpace(stderr.String()))
+	}
+	idx := &exportIndex{
+		GoVersion: runtime.Version(),
+		Goroot:    runtime.GOROOT(),
+		Exports:   make(map[string]string),
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if !ok || file == "" {
+			continue // unsafe and friends carry no export data
+		}
+		idx.Exports[path] = file
+	}
+	if len(idx.Exports) == 0 {
+		return nil, fmt.Errorf("go list -export std returned no export data")
+	}
+	saveExportIndex(idx)
+	return idx, nil
+}
+
+// saveExportIndex persists the index best-effort (temp file + rename,
+// so readers never see a torn write). Failures are ignored: the cache
+// is an optimization, never a correctness dependency.
+func saveExportIndex(idx *exportIndex) {
+	path, err := indexPath()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".exports-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		//lint:ignore errcheck cleanup of a failed temp file; the cache is best-effort and rebuilds next run
+		os.Remove(tmp.Name())
+		return
+	}
+	//lint:ignore errcheck cache persistence is best-effort; a failed rename just means the next run rebuilds the index
+	os.Rename(tmp.Name(), path)
+}
+
+// importer returns a stdlib importer that reads the indexed gc export
+// data instead of type-checking $GOROOT/src.
+func (idx *exportIndex) importer(fset *token.FileSet) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := idx.Exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in the behaviotlint cache (rebuild with -typecache=off or delete the cache dir)", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewCachedLoader is NewLoader with the stdlib importer backed by the
+// on-disk export-data cache. When neither a valid index nor a working
+// go tool is available it silently degrades to the source importer;
+// the chosen mode is recorded in Stats.Mode.
+func NewCachedLoader(root string) (*Loader, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	if idx := loadExportIndex(); idx != nil {
+		l.stdlib = &timedImporter{stats: l.Stats, imp: idx.importer(l.fset)}
+		l.Stats.Mode = ModeCache
+		return l, nil
+	}
+	idx, err := buildExportIndex(l.Root)
+	if err != nil {
+		// No usable go tool or export data: the source importer still
+		// produces identical results, just slower.
+		return l, nil
+	}
+	l.stdlib = &timedImporter{stats: l.Stats, imp: idx.importer(l.fset)}
+	l.Stats.Mode = ModeCacheCold
+	return l, nil
+}

@@ -1,0 +1,463 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file builds a small intraprocedural control-flow graph over
+// go/ast function bodies. It exists for flow-sensitive analyzers —
+// poolcheck is the first — that need "is X released on every path"
+// style answers rather than the purely syntactic walks the other
+// analyzers get away with.
+//
+// The graph is statement-granular: every statement gets one node, and
+// compound statements (if/for/switch/select) additionally act as the
+// node at which their condition or tag expressions are evaluated.
+// Three synthetic nodes frame a function: entry, exit (reached by
+// every return and by falling off the end), and panicked (reached by
+// calls that cannot return — panic, os.Exit, log.Fatal*; paths ending
+// there are abnormal, so leak-style checks skip them).
+//
+// Supported control flow: blocks, if/else, for (all three clauses),
+// range, switch/type switch with fallthrough, select, labeled
+// break/continue, goto, return. Unresolvable gotos fall back to an
+// edge into exit, which keeps analyses conservative rather than
+// wrong.
+
+// cfgNode is one node of a function's control-flow graph.
+type cfgNode struct {
+	// stmt is the statement whose effects run at this node; nil for
+	// the synthetic entry/exit/panicked nodes. For compound statements
+	// the node represents evaluation of the head only (init/cond/tag);
+	// the body statements have nodes of their own.
+	stmt  ast.Stmt
+	succs []*cfgNode
+	index int
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry    *cfgNode
+	exit     *cfgNode
+	panicked *cfgNode
+	nodes    []*cfgNode
+}
+
+// cfgBuilder carries the state needed while lowering a body.
+type cfgBuilder struct {
+	g *funcCFG
+	// info resolves callees so calls that never return (panic,
+	// os.Exit, log.Fatal*) can be routed to the panicked node. May be
+	// nil (syntax-only callers); then every call is assumed to return.
+	info *types.Info
+
+	// loops is the stack of enclosing breakable/continuable contexts.
+	loops []*loopCtx
+	// labels maps a label name to its context (for labeled
+	// break/continue) or its entry node (for goto).
+	labels map[string]*labelCtx
+	// gotos are unresolved goto nodes, wired after the walk.
+	gotos []pendingGoto
+}
+
+type loopCtx struct {
+	label      string
+	breaks     []*cfgNode // nodes that jump past the construct
+	continueTo *cfgNode   // loop head/post node, nil for switch/select
+	isLoop     bool
+}
+
+type labelCtx struct {
+	entry *cfgNode // target of goto LABEL
+}
+
+type pendingGoto struct {
+	node  *cfgNode
+	label string
+}
+
+// buildCFG lowers a function body into a CFG. info may be nil.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	g := &funcCFG{}
+	g.entry = &cfgNode{}
+	g.exit = &cfgNode{}
+	g.panicked = &cfgNode{}
+	b := &cfgBuilder{g: g, info: info, labels: map[string]*labelCtx{}}
+	g.nodes = append(g.nodes, g.entry, g.exit, g.panicked)
+	frontier := b.stmts(body.List, []*cfgNode{g.entry})
+	b.connect(frontier, g.exit) // fall off the end
+	for _, pg := range b.gotos {
+		if lc, ok := b.labels[pg.label]; ok && lc.entry != nil {
+			pg.node.succs = append(pg.node.succs, lc.entry)
+		} else {
+			// Unknown label (should not parse); stay conservative.
+			pg.node.succs = append(pg.node.succs, g.exit)
+		}
+	}
+	for i, n := range g.nodes {
+		n.index = i
+	}
+	return g
+}
+
+// newNode appends a node for stmt and wires the frontier into it.
+func (b *cfgBuilder) newNode(stmt ast.Stmt, from []*cfgNode) *cfgNode {
+	n := &cfgNode{stmt: stmt}
+	b.g.nodes = append(b.g.nodes, n)
+	b.connect(from, n)
+	return n
+}
+
+func (b *cfgBuilder) connect(from []*cfgNode, to *cfgNode) {
+	for _, f := range from {
+		f.succs = append(f.succs, to)
+	}
+}
+
+// stmts lowers a statement list; the returned frontier is the set of
+// nodes whose control falls through past the list.
+func (b *cfgBuilder) stmts(list []ast.Stmt, frontier []*cfgNode) []*cfgNode {
+	for _, s := range list {
+		frontier = b.stmt(s, frontier)
+	}
+	return frontier
+}
+
+// stmt lowers one statement.
+func (b *cfgBuilder) stmt(s ast.Stmt, frontier []*cfgNode) []*cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, frontier)
+
+	case *ast.LabeledStmt:
+		lc := &labelCtx{}
+		b.labels[s.Label.Name] = lc
+		// The labeled statement's own node is the goto target; for
+		// loops the loop head is created inside and registered below
+		// via the label name carried on the loop context.
+		out := b.labeledStmt(s.Label.Name, s.Stmt, frontier, lc)
+		return out
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s, frontier)
+		n.succs = append(n.succs, b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(s, frontier)
+
+	case *ast.IfStmt:
+		var ifFront []*cfgNode
+		if s.Init != nil {
+			frontier = []*cfgNode{b.newNode(s.Init, frontier)}
+		}
+		cond := b.newNode(s, frontier) // evaluates s.Cond
+		thenFront := b.stmts(s.Body.List, []*cfgNode{cond})
+		ifFront = append(ifFront, thenFront...)
+		if s.Else != nil {
+			elseFront := b.stmt(s.Else, []*cfgNode{cond})
+			ifFront = append(ifFront, elseFront...)
+		} else {
+			ifFront = append(ifFront, cond)
+		}
+		return ifFront
+
+	case *ast.ForStmt:
+		return b.forStmt(s, frontier, "")
+
+	case *ast.RangeStmt:
+		return b.rangeStmt(s, frontier, "")
+
+	case *ast.SwitchStmt:
+		var nodes []ast.Stmt
+		if s.Init != nil {
+			nodes = append(nodes, s.Init)
+		}
+		for _, st := range nodes {
+			frontier = []*cfgNode{b.newNode(st, frontier)}
+		}
+		tag := b.newNode(s, frontier) // evaluates s.Tag
+		return b.caseClauses(s.Body.List, tag, "", false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			frontier = []*cfgNode{b.newNode(s.Init, frontier)}
+		}
+		tag := b.newNode(s, frontier) // evaluates s.Assign
+		return b.caseClauses(s.Body.List, tag, "", true)
+
+	case *ast.SelectStmt:
+		sel := b.newNode(s, frontier)
+		lc := &loopCtx{}
+		b.loops = append(b.loops, lc)
+		var out []*cfgNode
+		for _, cl := range s.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			entry := []*cfgNode{sel}
+			if comm.Comm != nil {
+				entry = []*cfgNode{b.newNode(comm.Comm, entry)}
+			}
+			out = append(out, b.stmts(comm.Body, entry)...)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		out = append(out, lc.breaks...)
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no fall-through edge. A select
+			// with cases is assumed to eventually proceed.
+			return lc.breaks
+		}
+		return out
+
+	default:
+		// Simple statement: assign, expr, send, inc/dec, decl, defer,
+		// go, empty.
+		n := b.newNode(s, frontier)
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && b.neverReturns(call) {
+				n.succs = append(n.succs, b.g.panicked)
+				return nil
+			}
+		}
+		return []*cfgNode{n}
+	}
+}
+
+// labeledStmt lowers the statement under a label, registering loop
+// contexts under the label name so `break L` / `continue L` resolve.
+func (b *cfgBuilder) labeledStmt(label string, s ast.Stmt, frontier []*cfgNode, lc *labelCtx) []*cfgNode {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		return b.forStmt(s, frontier, label)
+	case *ast.RangeStmt:
+		return b.rangeStmt(s, frontier, label)
+	case *ast.SwitchStmt:
+		var front []*cfgNode = frontier
+		if s.Init != nil {
+			front = []*cfgNode{b.newNode(s.Init, front)}
+		}
+		tag := b.newNode(s, front)
+		lc.entry = tag
+		return b.caseClauses(s.Body.List, tag, label, false)
+	default:
+		// Plain labeled statement: the statement's first node is the
+		// goto target.
+		out := b.stmt(s, frontier)
+		// Best effort: the most recently created node that consumed
+		// the frontier is the entry; for simple statements that is the
+		// last node appended.
+		if lc.entry == nil && len(b.g.nodes) > 0 {
+			lc.entry = b.g.nodes[len(b.g.nodes)-1]
+		}
+		return out
+	}
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, frontier []*cfgNode, label string) []*cfgNode {
+	if s.Init != nil {
+		frontier = []*cfgNode{b.newNode(s.Init, frontier)}
+	}
+	head := b.newNode(s, frontier) // evaluates s.Cond each iteration
+	if label != "" {
+		if lc, ok := b.labels[label]; ok {
+			lc.entry = head
+		}
+	}
+	var post *cfgNode
+	continueTo := head
+	if s.Post != nil {
+		post = &cfgNode{stmt: s.Post}
+		b.g.nodes = append(b.g.nodes, post)
+		post.succs = append(post.succs, head)
+		continueTo = post
+	}
+	loop := &loopCtx{label: label, continueTo: continueTo, isLoop: true}
+	b.loops = append(b.loops, loop)
+	bodyFront := b.stmts(s.Body.List, []*cfgNode{head})
+	b.loops = b.loops[:len(b.loops)-1]
+	b.connect(bodyFront, continueTo)
+	out := loop.breaks
+	if s.Cond != nil {
+		out = append(out, head) // condition false exits the loop
+	}
+	return out
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, frontier []*cfgNode, label string) []*cfgNode {
+	head := b.newNode(s, frontier) // evaluates X, binds key/value
+	if label != "" {
+		if lc, ok := b.labels[label]; ok {
+			lc.entry = head
+		}
+	}
+	loop := &loopCtx{label: label, continueTo: head, isLoop: true}
+	b.loops = append(b.loops, loop)
+	bodyFront := b.stmts(s.Body.List, []*cfgNode{head})
+	b.loops = b.loops[:len(b.loops)-1]
+	b.connect(bodyFront, head)
+	return append(loop.breaks, head) // range always may be empty
+}
+
+// caseClauses lowers a switch body. tag is the node evaluating the
+// switch head; fallthrough chains case bodies together.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, tag *cfgNode, label string, typeSwitch bool) []*cfgNode {
+	lc := &loopCtx{label: label}
+	b.loops = append(b.loops, lc)
+	var out []*cfgNode
+	hasDefault := false
+	// Entry node per clause (evaluates the case expressions); built
+	// first so fallthrough can target the next clause's body.
+	entries := make([]*cfgNode, len(clauses))
+	for i, cl := range clauses {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			entries[i] = b.newNode(cc, []*cfgNode{tag})
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+	}
+	var fallsInto []*cfgNode // fallthrough sources awaiting next body
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok || entries[i] == nil {
+			continue
+		}
+		entry := []*cfgNode{entries[i]}
+		entry = append(entry, fallsInto...)
+		fallsInto = nil
+		front := entry
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				n := b.newNode(br, front)
+				fallsInto = append(fallsInto, n)
+				front = nil
+				break
+			}
+			front = b.stmt(st, front)
+		}
+		out = append(out, front...)
+	}
+	out = append(out, fallsInto...) // fallthrough from the last clause (invalid Go, but stay safe)
+	b.loops = b.loops[:len(b.loops)-1]
+	out = append(out, lc.breaks...)
+	if !hasDefault {
+		out = append(out, tag) // no case matched
+	}
+	return out
+}
+
+// branch lowers break/continue/goto/fallthrough. Fallthrough outside
+// caseClauses (invalid Go) degrades to a plain node.
+func (b *cfgBuilder) branch(s *ast.BranchStmt, frontier []*cfgNode) []*cfgNode {
+	n := b.newNode(s, frontier)
+	switch s.Tok.String() {
+	case "break":
+		if ctx := b.findLoop(s.Label, false); ctx != nil {
+			ctx.breaks = append(ctx.breaks, n)
+			return nil
+		}
+	case "continue":
+		if ctx := b.findLoop(s.Label, true); ctx != nil && ctx.continueTo != nil {
+			n.succs = append(n.succs, ctx.continueTo)
+			return nil
+		}
+	case "goto":
+		if s.Label != nil {
+			b.gotos = append(b.gotos, pendingGoto{node: n, label: s.Label.Name})
+			return nil
+		}
+	}
+	// fallthrough (handled by caseClauses) or malformed: fall through.
+	return []*cfgNode{n}
+}
+
+// findLoop locates the innermost matching breakable context.
+func (b *cfgBuilder) findLoop(label *ast.Ident, loopsOnly bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		ctx := b.loops[i]
+		if loopsOnly && !ctx.isLoop {
+			continue
+		}
+		if label == nil || ctx.label == label.Name {
+			return ctx
+		}
+	}
+	return nil
+}
+
+// neverReturns reports whether a call statement terminates the
+// goroutine: the panic builtin, os.Exit, runtime.Goexit, and the
+// log.Fatal*/log.Panic* family (plus their method forms on
+// *log.Logger).
+func (b *cfgBuilder) neverReturns(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			// Confirm it is the builtin when type info is available.
+			if b.info != nil {
+				if obj, ok := b.info.Uses[fun]; ok {
+					_, isBuiltin := obj.(*types.Builtin)
+					return isBuiltin
+				}
+			}
+			return true
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		fatal := name == "Exit" || name == "Goexit" ||
+			strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+		if !fatal {
+			return false
+		}
+		if b.info != nil {
+			if fn, ok := b.info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "os":
+					return name == "Exit"
+				case "runtime":
+					return name == "Goexit"
+				case "log":
+					return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+				}
+				if recvNamed(fn) == "log.Logger" {
+					return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+				}
+				return false
+			}
+		}
+		// No type info: match on the syntactic package name.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			switch id.Name {
+			case "os":
+				return name == "Exit"
+			case "runtime":
+				return name == "Goexit"
+			case "log":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvNamed returns "pkgpath.Type" for a method's receiver base type,
+// or "" for functions.
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

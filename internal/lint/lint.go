@@ -3,7 +3,7 @@
 // (go/ast, go/parser, go/token, go/types) so the repository keeps its
 // zero-dependency go.mod.
 //
-// Five analyzers enforce conventions that ordinary tests cannot: the
+// Six analyzers enforce conventions that ordinary tests cannot: the
 // evaluation pipeline depends on seeded, replayable traffic generators
 // and on numerically careful model code, and the streaming monitor
 // depends on documented lock discipline. A silent wall-clock read or a
@@ -21,6 +21,9 @@
 //     compound assignment) inside range-over-map loops in model
 //     packages, where map iteration order would leak into trained
 //     artifacts.
+//   - poolcheck: flow-sensitive enforcement of the pooled-buffer
+//     ownership contract (DESIGN.md) — leaked, double-released,
+//     used-after-release, or escaping pooled values.
 //
 // Findings can be suppressed with a justified comment on the offending
 // line or the line above it:
@@ -34,6 +37,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"time"
 )
 
 // A Finding is one rule violation at a source position.
@@ -59,7 +63,7 @@ type Analyzer struct {
 }
 
 // All lists the analyzers behaviotlint runs, in report order.
-var All = []*Analyzer{Determinism, FloatEq, ErrCheck, LockGuard, MapRange}
+var All = []*Analyzer{Determinism, FloatEq, ErrCheck, LockGuard, MapRange, PoolCheck}
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *Analyzer {
@@ -88,17 +92,36 @@ func finding(pkg *Package, analyzer string, pos token.Pos, format string, args .
 // the surviving findings after //lint:ignore suppression, sorted by
 // position.
 func Check(pkg *Package, analyzers []*Analyzer) []Finding {
+	return CheckInto(pkg, analyzers, nil)
+}
+
+// CheckInto is Check with per-analyzer wall-time accounting: each
+// analyzer's run time is accumulated into elapsed under its name, and
+// directive scanning (including malformed //lint:ignore detection) is
+// charged to the pseudo-analyzer "lint". A nil map disables the
+// accounting.
+func CheckInto(pkg *Package, analyzers []*Analyzer, elapsed map[string]time.Duration) []Finding {
 	if analyzers == nil {
 		analyzers = All
 	}
-	var out []Finding
+	charge := func(name string, start time.Time) {
+		if elapsed != nil {
+			elapsed[name] += time.Since(start)
+		}
+	}
+	igStart := time.Now()
 	ig := collectIgnores(pkg)
+	charge("lint", igStart)
+
+	var out []Finding
 	for _, a := range analyzers {
+		start := time.Now()
 		for _, f := range a.Run(pkg) {
 			if !ig.suppresses(f) {
 				out = append(out, f)
 			}
 		}
+		charge(a.Name, start)
 	}
 	out = append(out, ig.malformed...)
 	SortFindings(out)

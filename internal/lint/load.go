@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // A Package is one loaded, type-checked package ready for analysis.
@@ -39,10 +41,46 @@ type Loader struct {
 	Root   string // module root directory (holds go.mod)
 	Module string // module path declared in go.mod
 
+	// Stats accumulates load-time measurements. Forked loaders share
+	// one Stats, so it reflects the whole parallel load.
+	Stats *LoadStats
+
 	fset   *token.FileSet
 	stdlib types.Importer
 	byDir  map[string]*Package
 	inFlit map[string]bool // dirs currently being loaded (cycle guard)
+}
+
+// LoadStats records where a load spent its time. Counters are atomic
+// because forked loaders in a parallel load share one instance.
+type LoadStats struct {
+	// Mode is how stdlib imports were resolved (source, cache,
+	// cache-cold).
+	Mode TypeCheckMode
+	// TypecheckNanos is time spent inside stdlib Import calls. In
+	// parallel mode those calls are serialized by lockedImporter and
+	// timed inside the lock, so the total never double-counts
+	// overlapping waiters.
+	TypecheckNanos atomic.Int64
+	// StdlibImports counts top-level stdlib Import calls.
+	StdlibImports atomic.Int64
+}
+
+// timedImporter charges the wall-clock cost of each Import call to a
+// LoadStats. It must wrap the innermost importer — inside any
+// lockedImporter — so lock-wait time is not misattributed to
+// type-checking.
+type timedImporter struct {
+	stats *LoadStats
+	imp   types.Importer
+}
+
+func (ti *timedImporter) Import(path string) (*types.Package, error) {
+	start := time.Now()
+	pkg, err := ti.imp.Import(path)
+	ti.stats.TypecheckNanos.Add(int64(time.Since(start)))
+	ti.stats.StdlibImports.Add(1)
+	return pkg, err
 }
 
 // NewLoader builds a loader for the module rooted at root. The module
@@ -57,11 +95,13 @@ func NewLoader(root string) (*Loader, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
+	stats := &LoadStats{Mode: ModeSource}
 	return &Loader{
 		Root:   abs,
 		Module: mod,
+		Stats:  stats,
 		fset:   fset,
-		stdlib: importer.ForCompiler(fset, "source", nil),
+		stdlib: &timedImporter{stats: stats, imp: importer.ForCompiler(fset, "source", nil)},
 		byDir:  make(map[string]*Package),
 		inFlit: make(map[string]bool),
 	}, nil

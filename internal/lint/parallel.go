@@ -36,6 +36,7 @@ func (l *Loader) fork() *Loader {
 	return &Loader{
 		Root:   l.Root,
 		Module: l.Module,
+		Stats:  l.Stats,
 		fset:   l.fset,
 		stdlib: l.stdlib,
 		byDir:  make(map[string]*Package),
@@ -59,6 +60,28 @@ func LoadParallel(root string, workers int, patterns ...string) ([]*Package, err
 	if err != nil {
 		return nil, err
 	}
+	return loadParallelWith(base, workers, patterns...)
+}
+
+// LoadWith is the driver entry point: it loads like LoadParallel but
+// lets the caller pick the stdlib type-check strategy (typeCache=true
+// uses the on-disk export-data cache, with transparent fallback to the
+// source importer) and returns the load statistics alongside the
+// packages.
+func LoadWith(root string, workers int, typeCache bool, patterns ...string) ([]*Package, *LoadStats, error) {
+	newLoader := NewLoader
+	if typeCache {
+		newLoader = NewCachedLoader
+	}
+	base, err := newLoader(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := loadParallelWith(base, workers, patterns...)
+	return pkgs, base.Stats, err
+}
+
+func loadParallelWith(base *Loader, workers int, patterns ...string) ([]*Package, error) {
 	dirs, err := base.expand(patterns)
 	if err != nil {
 		return nil, err

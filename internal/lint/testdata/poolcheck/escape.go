@@ -1,0 +1,42 @@
+package poolcheck
+
+import "behaviot/internal/pcapio"
+
+type holder struct {
+	buf *[]byte
+}
+
+var global *[]byte
+
+// EscapeToField parks a pooled buffer in a struct field.
+func EscapeToField(h *holder) {
+	buf := pcapio.GetBuf()
+	h.buf = buf // want poolcheck
+}
+
+// EscapeToGlobal parks a pooled buffer in a package-level variable.
+func EscapeToGlobal() {
+	buf := pcapio.GetBuf()
+	global = buf // want poolcheck
+}
+
+// EscapeToChan sends a pooled buffer to a receiver that outlives the
+// function's ownership.
+func EscapeToChan(ch chan *[]byte) {
+	buf := pcapio.GetBuf()
+	ch <- buf // want poolcheck
+}
+
+// EscapeToSlice stores through an element.
+func EscapeToSlice(dst []*[]byte) {
+	buf := pcapio.GetBuf()
+	dst[0] = buf // want poolcheck
+}
+
+// JustifiedEscape carries the mandatory written reason, so it is
+// suppressed.
+func JustifiedEscape(h *holder) {
+	buf := pcapio.GetBuf()
+	//lint:ignore poolcheck fixture: the holder's Close releases it
+	h.buf = buf
+}

@@ -1,0 +1,20 @@
+package poolcheck
+
+import "behaviot/internal/pcapio"
+
+// GoCapture hands a pooled buffer to a goroutine by closure capture:
+// its lifetime now races the pool.
+func GoCapture() {
+	buf := pcapio.GetBuf()
+	go func() { // want poolcheck
+		readAll(buf)
+	}()
+}
+
+// GoArg passes the pooled buffer as a goroutine argument.
+func GoArg() {
+	buf := pcapio.GetBuf()
+	go readAll(buf) // want poolcheck
+}
+
+func readAll(buf *[]byte) int { return len(*buf) }

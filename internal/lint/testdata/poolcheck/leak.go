@@ -1,0 +1,48 @@
+// Package poolcheck is a lint fixture: functions that violate and
+// honor the pooled-buffer ownership contract, covering every finding
+// class (leak, use-after-put, double-put, escape, transfer, goroutine
+// capture). Leaks are reported at the acquire site.
+package poolcheck
+
+import "behaviot/internal/pcapio"
+
+// LeakOnBranch releases on one path only.
+func LeakOnBranch(cond bool) {
+	buf := pcapio.GetBuf() // want poolcheck
+	if cond {
+		return
+	}
+	pcapio.PutBuf(buf)
+}
+
+// LeakOnFallOff never releases at all.
+func LeakOnFallOff() int {
+	buf := pcapio.GetBuf() // want poolcheck
+	return len(*buf)
+}
+
+// LeakInLoop loses the buffer on the continue path, so the next
+// iteration re-acquires while the previous value is still owned.
+func LeakInLoop(n int) {
+	for i := 0; i < n; i++ {
+		buf := pcapio.GetBuf() // want poolcheck
+		if i%2 == 0 {
+			continue
+		}
+		pcapio.PutBuf(buf)
+	}
+}
+
+// DropAcquire throws the acquired buffer away unread.
+func DropAcquire() {
+	pcapio.GetBuf() // want poolcheck
+}
+
+// PanicPathIsExempt leaks only on a path that panics: not reported.
+func PanicPathIsExempt(cond bool) {
+	buf := pcapio.GetBuf()
+	if cond {
+		panic("abnormal exit owns nothing")
+	}
+	pcapio.PutBuf(buf)
+}

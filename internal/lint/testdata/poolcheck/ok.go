@@ -1,0 +1,94 @@
+package poolcheck
+
+import (
+	"time"
+
+	"behaviot/internal/netparse"
+	"behaviot/internal/pcapio"
+	"behaviot/internal/stream"
+)
+
+// The functions below are the blessed ownership patterns from the
+// ingest hot path; none of them may produce a finding.
+
+// BorrowThenDeferRelease mirrors stream.FeedRecord: DecodeInto and
+// Monitor.Feed are registered borrows, the deferred release recycles
+// on every path including early error returns.
+func BorrowThenDeferRelease(m *stream.Monitor, ts time.Time, data []byte) {
+	p := netparse.GetPacket()
+	defer netparse.PutPacket(p)
+	if err := netparse.DecodeInto(p, data); err != nil {
+		return
+	}
+	p.Timestamp = ts
+	m.Feed(p)
+}
+
+// ErrorPathRelease releases on the error path and transfers on the
+// success path.
+func ErrorPathRelease(q *stream.Queue, data []byte) {
+	p := netparse.GetPacket()
+	if err := netparse.DecodeInto(p, data); err != nil {
+		netparse.PutPacket(p)
+		return
+	}
+	q.Feed(p)
+}
+
+// BalancedDetach recycles the wire buffer straight out of the packet:
+// release(acquire()) is balanced by construction.
+func BalancedDetach(p *netparse.Packet) {
+	pcapio.PutBuf(p.DetachWire())
+	netparse.PutPacket(p)
+}
+
+// AttachTransfersTheBuffer gives the wire buffer to the packet, then
+// the packet to the queue.
+func AttachTransfersTheBuffer(q *stream.Queue) {
+	buf := pcapio.GetBuf()
+	p := netparse.GetPacket()
+	p.AttachWire(buf)
+	q.Feed(p)
+}
+
+// HandOff passes the buffer to an unregistered callee, which inherits
+// the release obligation (the DESIGN.md rule of thumb).
+func HandOff() {
+	buf := pcapio.GetBuf()
+	consume(buf)
+}
+
+func consume(buf *[]byte) { pcapio.PutBuf(buf) }
+
+// LoopReacquire reuses one acquire site cleanly across iterations:
+// every path out of the loop body released or handed off.
+func LoopReacquire(n int) {
+	for i := 0; i < n; i++ {
+		buf := pcapio.GetBuf()
+		if len(*buf) == 0 {
+			pcapio.PutBuf(buf)
+			continue
+		}
+		consume(buf)
+	}
+}
+
+// AliasedRelease releases through a second name bound to the same
+// pooled value.
+func AliasedRelease() {
+	buf := pcapio.GetBuf()
+	alias := buf
+	pcapio.PutBuf(alias)
+}
+
+// DeferredClosureRelease recycles captured values from a deferred
+// literal, like behaviotd's shutdown paths.
+func DeferredClosureRelease(data []byte) {
+	p := netparse.GetPacket()
+	defer func() {
+		netparse.PutPacket(p)
+	}()
+	if err := netparse.DecodeInto(p, data); err != nil {
+		return
+	}
+}

@@ -1,0 +1,48 @@
+package poolcheck
+
+import (
+	"behaviot/internal/netparse"
+	"behaviot/internal/stream"
+)
+
+// MissingTransferOnBranch leaks the packet when the queue is nil.
+func MissingTransferOnBranch(q *stream.Queue) {
+	p := netparse.GetPacket() // want poolcheck
+	if q == nil {
+		return
+	}
+	q.Feed(p)
+}
+
+// ReleaseAfterFeed releases after ownership moved to the queue.
+func ReleaseAfterFeed(q *stream.Queue) {
+	p := netparse.GetPacket()
+	q.Feed(p)
+	netparse.PutPacket(p) // want poolcheck
+}
+
+// FeedAfterFeed hands the packet off twice.
+func FeedAfterFeed(q *stream.Queue) {
+	p := netparse.GetPacket()
+	q.Feed(p)
+	q.Feed(p) // want poolcheck
+}
+
+// DeferUnderFeed schedules a release that will run after the queue has
+// taken ownership.
+func DeferUnderFeed(q *stream.Queue) {
+	p := netparse.GetPacket()
+	defer netparse.PutPacket(p)
+	q.Feed(p) // want poolcheck
+}
+
+// OfferConsumes: Offer takes ownership whether or not it reports
+// success, so either path is balanced.
+func OfferConsumes(q *stream.Queue, spill bool) {
+	p := netparse.GetPacket()
+	if spill {
+		q.Offer(p)
+		return
+	}
+	netparse.PutPacket(p)
+}

@@ -1,0 +1,44 @@
+package poolcheck
+
+import "behaviot/internal/pcapio"
+
+// UseAfterPut touches the buffer after giving it back to the pool.
+func UseAfterPut() int {
+	buf := pcapio.GetBuf()
+	pcapio.PutBuf(buf)
+	return len(*buf) // want poolcheck
+}
+
+// DoublePut releases the same buffer twice.
+func DoublePut() {
+	buf := pcapio.GetBuf()
+	pcapio.PutBuf(buf)
+	pcapio.PutBuf(buf) // want poolcheck
+}
+
+// DeferDoublePut releases explicitly under a deferred release.
+func DeferDoublePut() {
+	buf := pcapio.GetBuf()
+	defer pcapio.PutBuf(buf)
+	pcapio.PutBuf(buf) // want poolcheck
+}
+
+// ReleasedOnAllPaths: every path releases before the use, so the use
+// is definitely after release.
+func ReleasedOnAllPaths(cond bool) int {
+	buf := pcapio.GetBuf()
+	if cond {
+		pcapio.PutBuf(buf)
+	} else {
+		pcapio.PutBuf(buf)
+	}
+	return len(*buf) // want poolcheck
+}
+
+// AliasRelease releases through an alias, then uses the original name.
+func AliasRelease() int {
+	buf := pcapio.GetBuf()
+	alias := buf
+	pcapio.PutBuf(alias)
+	return len(*buf) // want poolcheck
+}

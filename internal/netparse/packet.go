@@ -78,9 +78,13 @@ type Packet struct {
 	// wire is the pooled record buffer backing Payload when the packet
 	// came through the pooled ingest path (see AttachWire), and pooled
 	// marks packets obtained from GetPacket so PutPacket is a safe
-	// no-op on packets the pool does not own.
-	wire   *[]byte
-	pooled bool
+	// no-op on packets the pool does not own. released marks a packet
+	// that has been handed back and not re-acquired; race-enabled
+	// builds use it to turn a double PutPacket into a panic instead of
+	// silent pool corruption.
+	wire     *[]byte
+	pooled   bool
+	released bool
 }
 
 // pktPool recycles Packet structs for the zero-alloc ingest path.
@@ -91,19 +95,28 @@ var pktPool = sync.Pool{New: func() any { return new(Packet) }}
 // stream.Queue sink returns — hand it back with PutPacket.
 func GetPacket() *Packet {
 	p := pktPool.Get().(*Packet)
-	p.pooled = true
+	p.pooled, p.released = true, false
 	return p
 }
 
 // PutPacket recycles a packet obtained from GetPacket, clearing all
 // decoded state. Calling it with a packet the pool does not own (or
 // nil) is a no-op, so a sink can recycle unconditionally even when
-// pooled and caller-owned packets share a queue.
+// pooled and caller-owned packets share a queue. Under the race
+// detector, releasing the same packet twice panics: a double put means
+// two owners, and the second release would hand the pool a packet that
+// may already be live again elsewhere.
 func PutPacket(p *Packet) {
-	if p == nil || !p.pooled {
+	if p == nil {
 		return
 	}
-	*p = Packet{}
+	if !p.pooled {
+		if poolGuardActive && p.released {
+			panic("netparse: PutPacket called twice on the same packet (ownership bug; see DESIGN.md pool rules)")
+		}
+		return
+	}
+	*p = Packet{released: true}
 	pktPool.Put(p)
 }
 

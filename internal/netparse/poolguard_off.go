@@ -1,0 +1,8 @@
+//go:build !race
+
+package netparse
+
+// poolGuardActive is off in regular builds: the ingest hot path keeps
+// PutPacket branch-free beyond the ownership checks, and a double put
+// degrades to the historical silent no-op.
+const poolGuardActive = false

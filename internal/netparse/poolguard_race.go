@@ -1,0 +1,10 @@
+//go:build race
+
+package netparse
+
+// poolGuardActive turns pool-ownership violations into panics in
+// race-enabled builds (`go test -race`, `make race`): the same builds
+// that catch the data races a double PutPacket eventually causes also
+// catch the double put itself, at the release site instead of at some
+// later unrelated decode.
+const poolGuardActive = true

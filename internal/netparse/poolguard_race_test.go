@@ -1,0 +1,28 @@
+//go:build race
+
+package netparse
+
+import "testing"
+
+// TestDoublePutPanicsUnderRace pins the race-build ownership guard: the
+// second PutPacket on the same packet panics instead of silently
+// corrupting the pool.
+func TestDoublePutPanicsUnderRace(t *testing.T) {
+	p := GetPacket()
+	PutPacket(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double PutPacket did not panic under the race detector")
+		}
+	}()
+	PutPacket(p)
+}
+
+// TestReacquireClearsReleaseMark: a packet that legitimately cycles
+// through the pool is releasable again after re-acquisition.
+func TestReacquireClearsReleaseMark(t *testing.T) {
+	p := GetPacket()
+	PutPacket(p)
+	q := GetPacket() // may or may not be p; either way must be releasable
+	PutPacket(q)
+}

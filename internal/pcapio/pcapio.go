@@ -400,13 +400,20 @@ var bufPool = sync.Pool{
 // netparse.Packet.AttachWire) and must be returned with PutBuf once the
 // packet has been consumed — the recycle point is the stream.Queue sink
 // boundary.
-func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	guardGet(b)
+	return b
+}
 
 // PutBuf recycles a record buffer obtained from GetBuf. The caller must
-// not touch the buffer afterwards.
+// not touch the buffer afterwards; PutBuf(nil) is a no-op so release
+// sites stay unconditional. Race-enabled builds panic on a double put
+// and poison released contents (see poolguard_race.go).
 func PutBuf(b *[]byte) {
 	if b == nil {
 		return
 	}
+	guardPut(b)
 	bufPool.Put(b)
 }

@@ -1,0 +1,45 @@
+//go:build race
+
+package pcapio
+
+import "sync"
+
+// Race-enabled builds audit the record-buffer pool: PutBuf panics when
+// a buffer is released twice, and released buffers are poisoned with a
+// sentinel byte so a reader that kept a stale reference sees garbage
+// deterministically instead of another packet's bytes occasionally.
+// The map also pins released buffers, so a buffer can never reappear
+// at the same address while still marked free.
+
+// poisonByte overwrites released buffer contents. 0xA5 survives in
+// hexdumps and decodes as nonsense, so use-after-release shows up as
+// loud parse failures.
+const poisonByte = 0xA5
+
+var bufGuard struct {
+	mu   sync.Mutex
+	free map[*[]byte]bool
+}
+
+// guardPut poisons b and panics if it was already released.
+func guardPut(b *[]byte) {
+	bufGuard.mu.Lock()
+	defer bufGuard.mu.Unlock()
+	if bufGuard.free == nil {
+		bufGuard.free = make(map[*[]byte]bool)
+	}
+	if bufGuard.free[b] {
+		panic("pcapio: PutBuf called twice on the same buffer (ownership bug; see DESIGN.md pool rules)")
+	}
+	bufGuard.free[b] = true
+	for i := range *b {
+		(*b)[i] = poisonByte
+	}
+}
+
+// guardGet marks b live again.
+func guardGet(b *[]byte) {
+	bufGuard.mu.Lock()
+	defer bufGuard.mu.Unlock()
+	delete(bufGuard.free, b)
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"behaviot/internal/netparse"
+	"behaviot/internal/pcapio"
 )
 
 // Queue is a bounded feed pump between capture producers and a packet
@@ -108,15 +109,29 @@ func NewBatchQueue(size, batch int, sink func([]*netparse.Packet)) *Queue {
 	return q
 }
 
+// recycle returns a dropped packet — and any wire buffer still riding
+// on it — to the pools. Feed and Offer take ownership of every packet
+// handed to them, including the ones they shed (DESIGN.md pool rule
+// R1: a transfer consumes unconditionally), so a drop must recycle
+// exactly like the sink would. Both Put functions no-op on
+// caller-owned packets, so non-pooled test packets pass through
+// untouched.
+func recycle(p *netparse.Packet) {
+	pcapio.PutBuf(p.DetachWire())
+	netparse.PutPacket(p)
+}
+
 // Feed enqueues with backpressure: it blocks while the queue is full.
-// Feeding a closed queue is a counted drop, not a panic, so shutdown
-// races degrade gracefully. (The read lock is held across the send;
-// Close takes the write side, so it cannot close the channel out from
-// under a blocked producer — the consumer keeps draining meanwhile.)
+// Feeding a closed queue is a counted drop (the packet is recycled),
+// not a panic, so shutdown races degrade gracefully. (The read lock is
+// held across the send; Close takes the write side, so it cannot close
+// the channel out from under a blocked producer — the consumer keeps
+// draining meanwhile.)
 func (q *Queue) Feed(p *netparse.Packet) {
 	q.mu.RLock()
 	defer q.mu.RUnlock()
 	if q.closed {
+		recycle(p)
 		q.dropped.Add(1)
 		return
 	}
@@ -142,12 +157,14 @@ func (q *Queue) Flush() {
 }
 
 // Offer enqueues without blocking. When the queue is full (or already
-// closed) the packet is dropped, counted, and false is returned — the
-// overflow behavior of a real capture ring.
+// closed) the packet is recycled, counted as dropped, and false is
+// returned — the overflow behavior of a real capture ring. Either way
+// Offer consumes the packet; the caller must not touch it afterwards.
 func (q *Queue) Offer(p *netparse.Packet) bool {
 	q.mu.RLock()
 	defer q.mu.RUnlock()
 	if q.closed {
+		recycle(p)
 		q.dropped.Add(1)
 		return false
 	}
@@ -155,6 +172,7 @@ func (q *Queue) Offer(p *netparse.Packet) bool {
 	case q.ch <- item{p: p}:
 		return true
 	default:
+		recycle(p)
 		q.dropped.Add(1)
 		return false
 	}

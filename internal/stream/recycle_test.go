@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"testing"
+
+	"behaviot/internal/netparse"
+	"behaviot/internal/pcapio"
+)
+
+// pooledPacket builds a pooled packet carrying a pooled wire buffer,
+// like the behaviotd ingest path produces.
+func pooledPacket(t *testing.T) *netparse.Packet {
+	t.Helper()
+	p := netparse.GetPacket()
+	buf := pcapio.GetBuf()
+	*buf = append((*buf)[:0], 1, 2, 3)
+	p.AttachWire(buf)
+	p.SrcPort = 7
+	return p
+}
+
+// TestClosedQueueDropRecycles pins the ownership contract on the
+// post-close drop path: Feed and Offer consume the packet even when
+// they shed it, returning packet and wire buffer to their pools. A
+// recycled pooled packet is cleared, which is observable.
+func TestClosedQueueDropRecycles(t *testing.T) {
+	q := NewQueue(4, func(*netparse.Packet) {})
+	q.Close()
+
+	p := pooledPacket(t)
+	q.Feed(p)
+	if p.SrcPort != 0 || p.DetachWire() != nil {
+		t.Error("Feed on a closed queue did not recycle the pooled packet")
+	}
+	p = pooledPacket(t)
+	if q.Offer(p) {
+		t.Fatal("Offer on a closed queue returned true")
+	}
+	if p.SrcPort != 0 || p.DetachWire() != nil {
+		t.Error("Offer on a closed queue did not recycle the pooled packet")
+	}
+	if got := q.Dropped(); got != 2 {
+		t.Errorf("Dropped() = %d, want 2", got)
+	}
+}
+
+// TestFullQueueOfferRecycles pins the load-shedding drop path: a
+// rejected Offer on a full queue recycles the pooled packet.
+func TestFullQueueOfferRecycles(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	q := NewQueue(1, func(*netparse.Packet) {
+		entered <- struct{}{}
+		<-gate
+	})
+	// First packet occupies the consumer (blocked in the sink), second
+	// fills the one-slot channel.
+	q.Feed(netparse.GetPacket())
+	<-entered
+	q.Feed(netparse.GetPacket())
+
+	p := pooledPacket(t)
+	if q.Offer(p) {
+		t.Fatal("Offer on a full queue returned true")
+	}
+	if p.SrcPort != 0 || p.DetachWire() != nil {
+		t.Error("Offer on a full queue did not recycle the pooled packet")
+	}
+	if got := q.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1", got)
+	}
+	close(gate)
+	q.Close()
+}
