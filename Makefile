@@ -6,7 +6,8 @@ GO ?= go
 .PHONY: all build test race vet lint lint-cold lint-warm lint-timing \
 	fmt-check check clean \
 	bench bench-json bench-ratchet experiments-quick \
-	experiments-expectations experiments-train fuzz-smoke crash-recovery
+	experiments-expectations experiments-train fuzz-smoke crash-recovery \
+	fleet-soak
 
 # Date stamp for benchmark artifacts (UTC, override with BENCH_DATE=).
 BENCH_DATE ?= $(shell date -u +%F)
@@ -142,6 +143,19 @@ fuzz-smoke:
 ## final-checkpoint regression); -count=1 forces a fresh run
 crash-recovery:
 	$(GO) test -run 'TestShutdownDrainsFinalCheckpoint|TestCrashRecoveryEquivalence' -count=1 -v ./cmd/behaviotd/
+
+## fleet-soak: the multi-tenant soak gate, all under -race. Two halves:
+## the in-process isolation oracle (100 tenants replaying concurrently
+## must produce byte-identical event logs and snapshots to single-tenant
+## runs, across shard counts 1/4/NumCPU), and a real behaviotd
+## subprocess hosting 120 homes over a unix socket that gets SIGTERMed
+## while half its sources are mid-stream — it must sever ingest, drain
+## every accepted record, land a final checkpoint per tenant, exit 0,
+## and reconcile its counter sums with what the sources sent. -count=1
+## forces fresh runs.
+fleet-soak:
+	$(GO) test -race -run 'TestFleetSoak' -count=1 -timeout 20m -v \
+		./internal/fleet/ ./cmd/behaviotd/
 
 ## check: everything CI runs
 check: build vet fmt-check lint lint-timing test race

@@ -155,9 +155,35 @@ func run() int {
 		ckptIvl  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint models and streaming state into -store")
 		resumeF  = flag.Bool("resume", false, "resume from the newest intact -store snapshot: skip training, restore streaming state, fast-forward the feed cursor")
 		eventLog = flag.String("eventlog", "", "append one JSON line per user event and deviation to this file (truncated to the last checkpoint on -resume)")
+
+		fleetMode    = flag.Bool("fleet", false, "multi-tenant mode: host many homes behind one daemon, ingesting over -fleet-unix/-fleet-tcp sockets (shares -listen, -queue, -maxskew, -store, -checkpoint-interval, -resume, and the -sim or -idle/-devices training inputs)")
+		fleetShards  = flag.Int("fleet-shards", 0, "fleet serialization shards / worker count (0 = GOMAXPROCS)")
+		fleetUnix    = flag.String("fleet-unix", "", "comma-separated unix socket paths accepting fleet ingest connections")
+		fleetTCP     = flag.String("fleet-tcp", "", "TCP address accepting fleet ingest connections")
+		fleetTenants = flag.String("fleet-tenants", "", "tenant roster file: one `id,token` line per home")
+		fleetLogDir  = flag.String("fleet-eventlog-dir", "", "directory for per-tenant JSONL event logs (<id>.jsonl)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Ltime)
+
+	if *fleetMode {
+		return runFleet(fleetOptions{
+			listen:   *listen,
+			shards:   *fleetShards,
+			unix:     *fleetUnix,
+			tcp:      *fleetTCP,
+			tenants:  *fleetTenants,
+			logDir:   *fleetLogDir,
+			sim:      *sim,
+			idle:     *idleP,
+			devices:  *devsP,
+			queueLen: *queueLen,
+			maxSkew:  *maxSkew,
+			store:    *storeP,
+			ckptIvl:  *ckptIvl,
+			resume:   *resumeF,
+		})
+	}
 
 	impair, err := chaos.ParseConfig(*impairS)
 	if err != nil {

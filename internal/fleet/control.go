@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"behaviot/internal/stream"
+)
+
+// RegisterHandlers mounts the fleet control plane on a mux:
+//
+//	GET    /tenants              list tenants (id, shard, live counters)
+//	POST   /tenants              add a tenant: {"id": ..., "token": ...}
+//	DELETE /tenants/{id}         drain and remove a tenant
+//	GET    /tenants/{id}/status  one tenant's full status JSON
+//	GET    /tenants/{id}/events  one tenant's recent user events
+//	GET    /metrics              Prometheus text, tenant-labeled series
+//	GET    /feed                 SSE stream of events and deviations
+//
+// Add and Remove take effect live — no restart, no disturbance to
+// other tenants' ingest.
+func (d *Daemon) RegisterHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("GET /tenants", d.handleListTenants)
+	mux.HandleFunc("POST /tenants", d.handleAddTenant)
+	mux.HandleFunc("DELETE /tenants/{id}", d.handleRemoveTenant)
+	mux.HandleFunc("GET /tenants/{id}/status", d.handleTenantStatus)
+	mux.HandleFunc("GET /tenants/{id}/events", d.handleTenantEvents)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /feed", d.handleFeed)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing better to do than drop the conn.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (d *Daemon) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	tenants := d.List()
+	out := make([]map[string]any, 0, len(tenants))
+	for _, t := range tenants {
+		t.shardMu.Lock()
+		st := t.monitor.Stats()
+		t.shardMu.Unlock()
+		out = append(out, map[string]any{
+			"id":               t.ID,
+			"shard":            t.Shard,
+			"packets":          st.Packets,
+			"deviations":       st.Deviations,
+			"received_records": t.received.Load(),
+			"queue_depth":      t.queue.Depth(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":  d.cfg.Shards,
+		"tenants": out,
+	})
+}
+
+func (d *Daemon) handleAddTenant(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID    string `json:"id"`
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	t, err := d.Add(req.ID, req.Token)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrTenantExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": t.ID, "shard": t.Shard})
+}
+
+func (d *Daemon) handleRemoveTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := d.Remove(id); err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, ErrTenantUnknown) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
+}
+
+func (d *Daemon) handleTenantStatus(w http.ResponseWriter, r *http.Request) {
+	t := d.Get(r.PathValue("id"))
+	if t == nil {
+		writeError(w, http.StatusNotFound, ErrTenantUnknown)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Status())
+}
+
+func (d *Daemon) handleTenantEvents(w http.ResponseWriter, r *http.Request) {
+	t := d.Get(r.PathValue("id"))
+	if t == nil {
+		writeError(w, http.StatusNotFound, ErrTenantUnknown)
+		return
+	}
+	events := t.Events()
+	out := make([]map[string]any, len(events))
+	for i, e := range events {
+		out[i] = map[string]any{
+			"time": e.Time, "device": e.Device,
+			"label": e.Label, "confidence": e.Confidence,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics renders Prometheus text exposition with one series per
+// tenant per counter, labeled tenant="<id>". Tenants are emitted in
+// sorted-ID order so the output is deterministic. Per-tenant queue
+// shed/backpressure series are the point: one noisy home's drops are
+// visible on its own label instead of vanishing into a process-wide
+// sum.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	tenants := d.List()
+	fmt.Fprintf(w, "# TYPE behaviot_fleet_tenants gauge\nbehaviot_fleet_tenants %d\n", len(tenants))
+	fmt.Fprintf(w, "# TYPE behaviot_fleet_shards gauge\nbehaviot_fleet_shards %d\n", d.cfg.Shards)
+
+	// Sample every tenant once up front (one shard-lock acquisition
+	// each), then render series grouped by metric name as the
+	// exposition format requires.
+	type sample struct {
+		t  *Tenant
+		st stream.Stats
+		qs stream.QueueStats
+	}
+	samples := make([]sample, len(tenants))
+	for i, t := range tenants {
+		t.shardMu.Lock()
+		st := t.monitor.Stats()
+		t.shardMu.Unlock()
+		samples[i] = sample{t: t, st: st, qs: t.queue.Stats()}
+	}
+
+	counters := []struct {
+		name string
+		val  func(sample) int64
+	}{
+		{"behaviot_tenant_packets_total", func(s sample) int64 { return s.st.Packets }},
+		{"behaviot_tenant_flows_total", func(s sample) int64 { return s.st.Flows }},
+		{"behaviot_tenant_events_periodic_total", func(s sample) int64 { return s.st.Periodic }},
+		{"behaviot_tenant_events_user_total", func(s sample) int64 { return s.st.User }},
+		{"behaviot_tenant_deviations_total", func(s sample) int64 { return s.st.Deviations }},
+		{"behaviot_tenant_late_dropped_total", func(s sample) int64 { return s.st.LateDropped }},
+		{"behaviot_tenant_received_records_total", func(s sample) int64 { return s.t.received.Load() }},
+		{"behaviot_tenant_parse_errors_total", func(s sample) int64 { return s.t.parseErrors.Load() }},
+		{"behaviot_tenant_queue_fed_total", func(s sample) int64 { return s.qs.Fed }},
+		{"behaviot_tenant_queue_shed_total", func(s sample) int64 { return s.qs.Shed }},
+		{"behaviot_tenant_queue_backpressure_waits_total", func(s sample) int64 { return s.qs.BackpressureWaits }},
+	}
+	gauges := []struct {
+		name string
+		val  func(sample) int64
+	}{
+		{"behaviot_tenant_queue_depth", func(s sample) int64 { return int64(s.qs.Depth) }},
+		{"behaviot_tenant_store_generation", func(s sample) int64 { return s.t.storeGen.Load() }},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		for _, s := range samples {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", c.name, s.t.ID, c.val(s))
+		}
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		for _, s := range samples {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", g.name, s.t.ID, g.val(s))
+		}
+	}
+}
+
+// handleFeed streams the fleet event feed as server-sent events: one
+// `data: <json>` line per user event or deviation, tenant-tagged. The
+// stream ends when the client disconnects or the daemon closes.
+func (d *Daemon) handleFeed(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	ch, cancel := d.Subscribe(256)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case it, ok := <-ch:
+			if !ok {
+				return // daemon closed
+			}
+			data, err := json.Marshal(it)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return // client gone
+			}
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// FeedItem is one entry on the fleet's streaming event feed: a user
+// event or deviation, tagged with the tenant it belongs to. It is the
+// JSON body of one SSE `data:` line on GET /feed.
+type FeedItem struct {
+	Tenant     string    `json:"tenant"`
+	Kind       string    `json:"kind"` // "event" or "deviation"
+	Time       time.Time `json:"time"`
+	Device     string    `json:"device"`
+	Label      string    `json:"label,omitempty"`
+	DevKind    string    `json:"deviation_kind,omitempty"`
+	Detail     string    `json:"detail,omitempty"`
+	Confidence float64   `json:"confidence,omitempty"`
+	Score      float64   `json:"score,omitempty"`
+}
+
+// feedHub fans classified events out to streaming subscribers. Sends
+// never block the ingest path: a subscriber whose buffer is full loses
+// the item and the loss is counted on its subscription (the feed is a
+// live tap, not a durable log — the event log is the durable record).
+type feedHub struct {
+	mu     sync.Mutex // guards subs, nextID, closed
+	subs   map[int]*feedSub
+	nextID int
+	closed bool
+}
+
+// feedSub is one subscriber: a buffered channel plus its drop counter.
+type feedSub struct {
+	ch      chan FeedItem
+	dropped int64
+}
+
+func newFeedHub() *feedHub {
+	return &feedHub{subs: map[int]*feedSub{}}
+}
+
+// subscribe registers a subscriber with the given buffer and returns
+// its channel plus a cancel function. Cancel closes the channel.
+func (h *feedHub) subscribe(buffer int) (<-chan FeedItem, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	sub := &feedSub{ch: make(chan FeedItem, buffer)}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(sub.ch)
+		return sub.ch, func() {}
+	}
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = sub
+	h.mu.Unlock()
+	cancel := func() {
+		h.mu.Lock()
+		if s, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(s.ch)
+		}
+		h.mu.Unlock()
+	}
+	return sub.ch, cancel
+}
+
+// publish delivers an item to every subscriber without blocking.
+func (h *feedHub) publish(it FeedItem) {
+	h.mu.Lock()
+	for _, s := range h.subs {
+		select {
+		case s.ch <- it:
+		default:
+			s.dropped++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close drops all subscribers, closing their channels.
+func (h *feedHub) close() {
+	h.mu.Lock()
+	for id, s := range h.subs {
+		delete(h.subs, id)
+		close(s.ch)
+	}
+	h.closed = true
+	h.mu.Unlock()
+}
+
+// publish forwards a classified event to feed subscribers.
+func (d *Daemon) publish(it FeedItem) { d.feed.publish(it) }
+
+// Subscribe taps the fleet's live event feed: every user event and
+// deviation from every tenant, as they are classified. The returned
+// cancel must be called to release the subscription.
+func (d *Daemon) Subscribe(buffer int) (<-chan FeedItem, func()) {
+	return d.feed.subscribe(buffer)
+}

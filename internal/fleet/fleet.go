@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/flows"
+	"behaviot/internal/stream"
+)
+
+// Config assembles a fleet daemon.
+type Config struct {
+	// Shards is the number of serialization domains (worker count).
+	// Feed concurrency never exceeds it, however many tenants are
+	// registered. Default: GOMAXPROCS.
+	Shards int
+	// QueueLen bounds each tenant's feed queue (default 1024).
+	QueueLen int
+	// FeedBatch caps how many queued packets a tenant's queue consumer
+	// drains per shard-lock acquisition (default 64).
+	FeedBatch int
+	// PipeSnap is the marshaled trained pipeline (core.MarshalPipeline
+	// bytes). Every tenant unmarshals a private copy, so tenants share
+	// trained knowledge but never mutable model state. Required.
+	PipeSnap []byte
+	// Fingerprint ties tenant checkpoints to the training inputs. The
+	// format is unchanged from the single-tenant daemon — tenancy is
+	// expressed in store paths, not fingerprints.
+	Fingerprint string
+	// AssemblerCfg configures each tenant's flow assembler.
+	AssemblerCfg flows.Config
+	// StreamCfg is the monitor configuration template (FlushAfter,
+	// MaxSkew, ...). OnEvent/OnDeviation/RecycleFlows are overridden
+	// per tenant.
+	StreamCfg stream.Config
+	// StoreRoot, when set, enables crash-safe checkpoints under
+	// StoreRoot/tenants/<id>/ (modelstore.OpenTenant).
+	StoreRoot string
+	// EventLogDir, when set, gives each tenant a JSONL event log at
+	// EventLogDir/<id>.jsonl.
+	EventLogDir string
+	// CheckpointInterval, when positive, makes each shard's
+	// housekeeping worker land periodic checkpoints for its tenants.
+	// Zero means final checkpoints only (at Remove/Close).
+	CheckpointInterval time.Duration
+	// Resume makes newly added tenants restore from their namespaced
+	// store when an intact matching snapshot exists.
+	Resume bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.FeedBatch <= 0 {
+		c.FeedBatch = 64
+	}
+	return c
+}
+
+// Daemon hosts many tenant deployments behind one process: a registry
+// of tenants placed on shards by a consistent hash ring, an SSE feed
+// hub, and per-shard housekeeping workers. Ingest sources reach
+// tenants through Authenticate + Tenant.IngestRecord (the listener
+// front end does exactly that); operators reach them through the REST
+// control plane (RegisterHandlers).
+type Daemon struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shard
+
+	mu      sync.RWMutex // guards tenants, closed
+	tenants map[string]*Tenant
+	closed  bool
+
+	feed *feedHub
+}
+
+// ErrClosed is returned by registry mutations after Daemon.Close.
+var ErrClosed = errors.New("fleet: daemon closed")
+
+// New builds a fleet daemon. It validates the pipeline snapshot once
+// up front so a bad snapshot fails construction, not the first Add.
+func New(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if _, err := core.UnmarshalPipeline(cfg.PipeSnap); err != nil {
+		return nil, fmt.Errorf("fleet: pipeline snapshot: %w", err)
+	}
+	if cfg.EventLogDir != "" {
+		if err := os.MkdirAll(cfg.EventLogDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: event log dir: %w", err)
+		}
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Shards),
+		tenants: map[string]*Tenant{},
+		feed:    newFeedHub(),
+	}
+	d.shards = make([]*shard, cfg.Shards)
+	for i := range d.shards {
+		d.shards[i] = newShard(i, d)
+	}
+	return d, nil
+}
+
+// Shards returns the shard count.
+func (d *Daemon) Shards() int { return d.cfg.Shards }
+
+// TenantCount returns the number of registered tenants.
+func (d *Daemon) TenantCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.tenants)
+}
+
+// List returns the registered tenants sorted by ID (map iteration
+// order must never leak into handler output).
+func (d *Daemon) List() []*Tenant {
+	d.mu.RLock()
+	out := make([]*Tenant, 0, len(d.tenants))
+	for _, t := range d.tenants {
+		out = append(out, t)
+	}
+	d.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Close shuts the fleet down cleanly: housekeeping workers stop, then
+// every tenant is drained (queue closed, packets flushed into its
+// monitor), final-checkpointed, and its event log closed. Tenants are
+// closed shard-parallel — shards are independent serialization
+// domains — but sequentially within a shard. Idempotent.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	tenants := make([]*Tenant, 0, len(d.tenants))
+	for _, t := range d.tenants {
+		tenants = append(tenants, t)
+	}
+	d.mu.Unlock()
+
+	for _, sh := range d.shards {
+		sh.stop()
+	}
+
+	byShard := make([][]*Tenant, d.cfg.Shards)
+	for _, t := range tenants {
+		byShard[t.Shard] = append(byShard[t.Shard], t)
+	}
+	var wg sync.WaitGroup
+	for _, ts := range byShard {
+		if len(ts) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ts []*Tenant) {
+			defer wg.Done()
+			sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+			for _, t := range ts {
+				t.close()
+			}
+		}(ts)
+	}
+	wg.Wait()
+	d.feed.close()
+	return nil
+}

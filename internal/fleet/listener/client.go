@@ -1,0 +1,109 @@
+package listener
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sender is the client half of the ingest protocol: one authenticated
+// connection streaming records for one tenant. It is what behaviotd's
+// fleet-soak harness and any external capture relay use.
+type Sender struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+	sent int64
+}
+
+// Dial connects to a listener (network "unix" or "tcp"), performs the
+// hello exchange for the given tenant, and returns a ready Sender.
+func Dial(network, addr, tenantID, token string) (*Sender, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+		br:   bufio.NewReader(conn),
+	}
+	if _, err := fmt.Fprintf(s.bw, "%s %s %s\n", helloMagic, tenantID, token); err != nil {
+		conn.Close() //lint:ignore errcheck dial failed; the write error is what gets reported
+		return nil, err
+	}
+	if err := s.bw.Flush(); err != nil {
+		conn.Close() //lint:ignore errcheck dial failed; the flush error is what gets reported
+		return nil, err
+	}
+	resp, err := readLine(s.br, maxHelloLen)
+	if err != nil {
+		conn.Close() //lint:ignore errcheck dial failed; the read error is what gets reported
+		return nil, err
+	}
+	if resp != "OK" {
+		conn.Close() //lint:ignore errcheck server refused the hello; its reason is what gets reported
+		return nil, fmt.Errorf("listener: server refused hello: %s", resp)
+	}
+	return s, nil
+}
+
+// Send streams one record. Writes are buffered; Close flushes.
+func (s *Sender) Send(ts time.Time, data []byte) error {
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(ts.UnixNano()))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	if _, err := s.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.bw.Write(data); err != nil {
+		return err
+	}
+	s.sent++
+	return nil
+}
+
+// Sent returns how many records Send has accepted so far.
+func (s *Sender) Sent() int64 { return s.sent }
+
+// Close flushes, half-closes the write side, and waits for the
+// server's final "OK <consumed>" ack. It returns the server's consumed
+// count; a count different from Sent means the server lost records
+// (callers like the soak harness assert equality).
+func (s *Sender) Close() (consumed int64, err error) {
+	defer s.conn.Close() //lint:ignore errcheck the protocol outcome (ack or its absence) is what gets reported
+	if err := s.bw.Flush(); err != nil {
+		return 0, err
+	}
+	type closeWriter interface{ CloseWrite() error }
+	cw, ok := s.conn.(closeWriter)
+	if !ok {
+		return 0, fmt.Errorf("listener: %T cannot half-close", s.conn)
+	}
+	if err := cw.CloseWrite(); err != nil {
+		return 0, err
+	}
+	resp, err := readLine(s.br, maxHelloLen)
+	if err != nil {
+		return 0, fmt.Errorf("listener: reading final ack: %w", err)
+	}
+	rest, ok := strings.CutPrefix(resp, "OK ")
+	if !ok {
+		return 0, fmt.Errorf("listener: server reported: %s", resp)
+	}
+	consumed, err = strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("listener: malformed final ack %q", resp)
+	}
+	return consumed, nil
+}
+
+// Abort severs the connection without the half-close handshake —
+// the client side of a mid-stream crash, used by drain tests.
+func (s *Sender) Abort() {
+	s.conn.Close() //lint:ignore errcheck abort is deliberately fire-and-forget
+}

@@ -1,0 +1,252 @@
+// Package listener is the fleet daemon's ingest front end: it accepts
+// many concurrent pcap-record sources over unix sockets and TCP, one
+// connection per source, and feeds each source's records into its
+// tenant's bounded queue. The wire protocol is deliberately tiny:
+//
+//	client → server: "BEHAVIOT/1 <tenant-id> <token>\n"
+//	server → client: "OK\n"                      (or "ERR <reason>\n" + close)
+//	client → server: repeated records, each a 12-byte little-endian
+//	                 header [u64 capture-time unixnano][u32 payload len]
+//	                 followed by the raw record payload
+//	client → server: half-close (CloseWrite) when done
+//	server → client: "OK <consumed>\n"           (final ack, then close)
+//
+// Authentication is per source: the hello token must match the
+// tenant's registered ingest token (constant-time compare in the fleet
+// registry). Backpressure is per tenant: a source whose tenant's queue
+// is full blocks in IngestRecord, which stalls this connection's read
+// loop — and only this connection — until the queue drains. The final
+// ack lets a source verify the server consumed everything it sent,
+// which is how the fleet-soak gate proves clean SIGTERM drains.
+package listener
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"behaviot/internal/fleet"
+	"behaviot/internal/pcapio"
+)
+
+const (
+	// helloMagic opens every connection; the version digit lets the
+	// protocol evolve without breaking old sources outright.
+	helloMagic = "BEHAVIOT/1"
+	// recordHeaderLen is the fixed per-record header size.
+	recordHeaderLen = 12
+	// DefaultMaxRecordLen bounds one record's payload (generous for any
+	// link-layer frame; a header claiming more is a protocol error).
+	DefaultMaxRecordLen = 1 << 18
+	// maxHelloLen bounds the hello line so a garbage peer cannot make
+	// the server buffer unbounded input before authentication.
+	maxHelloLen = 256
+)
+
+// Server accepts ingest connections and routes them to fleet tenants.
+// One Server can serve any number of listeners (unix + TCP together).
+type Server struct {
+	d            *fleet.Daemon
+	maxRecordLen uint32
+
+	mu        sync.Mutex // guards listeners, conns, closed
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("listener: server closed")
+
+// New builds a server front end for the given fleet daemon.
+func New(d *fleet.Daemon) *Server {
+	return &Server{
+		d:            d,
+		maxRecordLen: DefaultMaxRecordLen,
+		listeners:    map[net.Listener]struct{}{},
+		conns:        map[net.Conn]struct{}{},
+	}
+}
+
+// Serve accepts connections on l until Close (which returns
+// ErrServerClosed) or a non-temporary accept error. Call it on its own
+// goroutine, once per listener.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close() //lint:ignore errcheck server already closed; the accept socket is being discarded
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close() //lint:ignore errcheck connection is being refused during shutdown
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Close stops accepting, severs every live connection, and waits for
+// handlers to finish. Records already handed to tenant queues are not
+// lost — draining them is fleet.Daemon.Close's job, which the caller
+// runs after this returns. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close() //lint:ignore errcheck best-effort teardown; Serve observes closed and exits regardless
+	}
+	for c := range s.conns {
+		c.Close() //lint:ignore errcheck best-effort teardown; the handler's read fails and it exits
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// forget unregisters a finished connection.
+func (s *Server) forget(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// handleConn authenticates one source and pumps its records into its
+// tenant. Pool discipline: each record buffer is acquired here with
+// pcapio.GetBuf and handed to Tenant.IngestRecord, which consumes it
+// on every path; only a read failure before the hand-off releases it
+// locally.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer s.forget(c)
+	defer c.Close() //lint:ignore errcheck read side already drained or errored; nothing actionable in the close result
+
+	br := bufio.NewReaderSize(c, 32<<10)
+	id, token, err := readHello(br)
+	if err != nil {
+		writeLine(c, "ERR bad hello")
+		return
+	}
+	t, err := s.d.Authenticate(id, token)
+	if err != nil {
+		writeLine(c, "ERR unauthorized")
+		return
+	}
+	if !writeLine(c, "OK") {
+		return
+	}
+
+	var consumed int64
+	var hdr [recordHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				// Clean half-close: every record sent was consumed.
+				writeLine(c, fmt.Sprintf("OK %d", consumed))
+			}
+			return
+		}
+		nanos := int64(binary.LittleEndian.Uint64(hdr[0:8]))
+		n := binary.LittleEndian.Uint32(hdr[8:12])
+		if n == 0 || n > s.maxRecordLen {
+			writeLine(c, fmt.Sprintf("ERR record length %d out of range", n))
+			return
+		}
+		buf := pcapio.GetBuf()
+		data := (*buf)[:0]
+		if uint32(cap(data)) < n {
+			// Grow through the pooled buffer so the larger backing array
+			// is what gets recycled (the growth-keep pattern the daemon's
+			// pcap feed uses).
+			data = make([]byte, n)
+			*buf = data[:cap(data)]
+		} else {
+			data = data[:n]
+		}
+		if _, err := io.ReadFull(br, data); err != nil {
+			pcapio.PutBuf(buf)
+			return
+		}
+		if err := t.IngestRecord(time.Unix(0, nanos), data, buf); err != nil {
+			// IngestRecord consumed the buffer on every path, including
+			// this one (tenant removed mid-stream).
+			writeLine(c, "ERR tenant closed")
+			return
+		}
+		consumed++
+	}
+}
+
+// readHello reads and parses the bounded hello line.
+func readHello(br *bufio.Reader) (id, token string, err error) {
+	line, err := readLine(br, maxHelloLen)
+	if err != nil {
+		return "", "", err
+	}
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 || parts[0] != helloMagic || parts[1] == "" || parts[2] == "" {
+		return "", "", fmt.Errorf("listener: malformed hello")
+	}
+	return parts[1], parts[2], nil
+}
+
+// readLine reads one \n-terminated line of at most max bytes.
+func readLine(br *bufio.Reader, max int) (string, error) {
+	line := make([]byte, 0, 64)
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if b == '\n' {
+			return string(line), nil
+		}
+		if len(line) >= max {
+			return "", fmt.Errorf("listener: line exceeds %d bytes", max)
+		}
+		line = append(line, b)
+	}
+}
+
+// writeLine writes one protocol line, reporting success. A false
+// return means the peer is gone; callers just stop.
+func writeLine(c net.Conn, s string) bool {
+	_, err := io.WriteString(c, s+"\n")
+	return err == nil
+}

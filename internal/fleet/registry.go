@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"behaviot/internal/modelstore"
+)
+
+// Registry errors surfaced by the control plane.
+var (
+	ErrTenantExists   = errors.New("fleet: tenant already registered")
+	ErrTenantUnknown  = errors.New("fleet: unknown tenant")
+	ErrUnauthorized   = errors.New("fleet: bad tenant credentials")
+	ErrBadTenantID    = errors.New("fleet: invalid tenant id")
+	ErrTokenRequired  = errors.New("fleet: ingest token must not be empty")
+	errTokenHasSpace  = errors.New("fleet: ingest token must not contain spaces or newlines")
+	errTenantFileForm = errors.New("fleet: tenants file line is not `id,token`")
+)
+
+// Add registers a new tenant under the given ingest token and places
+// it on its ring-assigned shard, live — no restart, no disturbance to
+// other tenants (pinned by the control-plane tests). The returned
+// tenant is already accepting ingest.
+func (d *Daemon) Add(id, token string) (*Tenant, error) {
+	if !modelstore.ValidTenantID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrBadTenantID, id)
+	}
+	if token == "" {
+		return nil, ErrTokenRequired
+	}
+	if strings.ContainsAny(token, " \t\r\n") {
+		return nil, errTokenHasSpace
+	}
+
+	// Build the tenant outside the registry lock: construction
+	// unmarshals a pipeline copy and may touch disk, and Add must not
+	// stall Authenticate/Get on the ingest path. The brief existence
+	// race (two concurrent Adds of one ID) is resolved below.
+	shardIdx := d.ring.Lookup(id)
+	t, err := d.newTenant(id, token, shardIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		t.close()
+		return nil, ErrClosed
+	}
+	if _, ok := d.tenants[id]; ok {
+		d.mu.Unlock()
+		t.close()
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, id)
+	}
+	d.tenants[id] = t
+	d.mu.Unlock()
+	return t, nil
+}
+
+// Remove drains and deletes a tenant: ingest sources are rejected from
+// this point, the queue is drained into the monitor, a final
+// checkpoint lands, and the event log is closed. Other tenants are
+// untouched (their packets keep flowing throughout — pinned by the
+// control-plane tests). The tenant's store directory is left on disk
+// so a later Add with Resume picks up where it left off.
+func (d *Daemon) Remove(id string) error {
+	d.mu.Lock()
+	t, ok := d.tenants[id]
+	if ok {
+		delete(d.tenants, id)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrTenantUnknown, id)
+	}
+	t.close()
+	return nil
+}
+
+// Get returns a tenant by ID, or nil.
+func (d *Daemon) Get(id string) *Tenant {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tenants[id]
+}
+
+// Authenticate resolves ingest credentials to a tenant. The token
+// comparison is constant-time; unknown tenant and bad token are
+// deliberately the same error so a probe cannot enumerate tenant IDs.
+func (d *Daemon) Authenticate(id, token string) (*Tenant, error) {
+	d.mu.RLock()
+	t := d.tenants[id]
+	d.mu.RUnlock()
+	if t == nil {
+		// Burn the comparison anyway so the miss is not a timing oracle.
+		subtle.ConstantTimeCompare([]byte(token), []byte(token))
+		return nil, ErrUnauthorized
+	}
+	if subtle.ConstantTimeCompare([]byte(token), []byte(t.token)) != 1 {
+		return nil, ErrUnauthorized
+	}
+	return t, nil
+}
+
+// ParseTenantsFile reads the `id,token` lines of a tenants file (the
+// behaviotd -fleet-tenants format). Blank lines and #-comments are
+// skipped. IDs must satisfy modelstore.ValidTenantID.
+func ParseTenantsFile(r io.Reader) (map[string]string, error) {
+	out := map[string]string{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, token, ok := strings.Cut(line, ",")
+		id, token = strings.TrimSpace(id), strings.TrimSpace(token)
+		if !ok || id == "" || token == "" {
+			return nil, fmt.Errorf("%w (line %d)", errTenantFileForm, lineNo)
+		}
+		if !modelstore.ValidTenantID(id) {
+			return nil, fmt.Errorf("%w: %q (line %d)", ErrBadTenantID, id, lineNo)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("fleet: duplicate tenant %q (line %d)", id, lineNo)
+		}
+		out[id] = token
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// shard is one serialization domain plus its housekeeping worker. The
+// mutex serializes every monitor touch for the shard's tenants (queue
+// sinks, checkpoints, status sampling), bounding feed CPU concurrency
+// to the shard count however many tenants are registered — the
+// shard-per-worker placement the hash ring feeds. The worker goroutine
+// lands periodic checkpoints for the shard's tenants so checkpointing
+// never rides the ingest path.
+type shard struct {
+	index int
+	mu    sync.Mutex // the shard serialization lock (see Tenant.shardMu)
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newShard(index int, d *Daemon) *shard {
+	sh := &shard{index: index, done: make(chan struct{})}
+	if d.cfg.StoreRoot != "" && d.cfg.CheckpointInterval > 0 {
+		sh.wg.Add(1)
+		go sh.housekeep(d)
+	}
+	return sh
+}
+
+// housekeep checkpoints the shard's tenants on the configured
+// interval. Tenants are walked in sorted-ID order so checkpoint disk
+// traffic is evenly phased rather than hash-ordered bursts; tenants
+// added or removed mid-tick are naturally picked up next tick.
+func (sh *shard) housekeep(d *Daemon) {
+	defer sh.wg.Done()
+	tick := time.NewTicker(d.cfg.CheckpointInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sh.done:
+			return
+		case <-tick.C:
+		}
+		d.mu.RLock()
+		var mine []*Tenant
+		for _, t := range d.tenants {
+			if t.Shard == sh.index {
+				mine = append(mine, t)
+			}
+		}
+		d.mu.RUnlock()
+		sort.Slice(mine, func(i, j int) bool { return mine[i].ID < mine[j].ID })
+		for _, t := range mine {
+			select {
+			case <-sh.done:
+				return
+			default:
+			}
+			if !t.closed.Load() {
+				t.checkpoint()
+			}
+		}
+	}
+}
+
+// stop halts the housekeeping worker and waits for it. Idempotent via
+// the daemon's closed flag (Close calls it exactly once).
+func (sh *shard) stop() {
+	close(sh.done)
+	sh.wg.Wait()
+}

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/modelstore"
+	"behaviot/internal/snapio"
+	"behaviot/internal/stream"
+)
+
+// tenantSnapVersion guards the tenant.snap wire format: ingest
+// counters, recent-event rings, and the event-log high-water mark.
+const tenantSnapVersion = 1
+
+// checkpoint writes one generation into the tenant's namespaced store:
+// pipeline, monitor streaming state, and tenant state. The queue is
+// flushed first so the monitor has consumed every packet accepted
+// before the flush. Unlike the single-tenant daemon there is no replay
+// cursor to keep exact — fleet sources are live sockets that reconnect
+// and continue, so an interval checkpoint is crash insurance, and only
+// the final post-drain checkpoint is the deterministic artifact the
+// isolation oracle compares. Failures are logged, not fatal: a full
+// disk must not kill monitoring.
+func (t *Tenant) checkpoint() {
+	if t.store == nil {
+		return
+	}
+	t.ckptMu.Lock()
+	defer t.ckptMu.Unlock()
+	t.queue.Flush()
+	t.shardMu.Lock()
+	pipeSnap := core.MarshalPipeline(t.pipe)
+	monSnap := t.monitor.MarshalState()
+	t.shardMu.Unlock()
+	state := t.marshalState()
+	gen, err := t.store.Write(t.fingerprint, map[string][]byte{
+		modelstore.FilePipeline: pipeSnap,
+		modelstore.FileMonitor:  monSnap,
+		modelstore.FileTenant:   state,
+	})
+	if err != nil {
+		log.Printf("fleet: tenant %s checkpoint failed: %v", t.ID, err)
+		return
+	}
+	t.storeGen.Store(int64(gen))
+	t.lastCkptUnix.Store(time.Now().UnixNano())
+	t.checkpointsTotal.Add(1)
+}
+
+// marshalState serializes everything outside the monitor that a
+// restored tenant needs: ingest counters, the recent-event rings, and
+// the event-log high-water mark. The encoding is deterministic: two
+// tenants that consumed identical streams marshal identical bytes.
+func (t *Tenant) marshalState() []byte {
+	var w snapio.Writer
+	w.U8(tenantSnapVersion)
+	w.I64(t.received.Load())
+	w.I64(t.fed.Load())
+	w.I64(t.parseErrors.Load())
+	for i := range t.parseByClass {
+		w.I64(t.parseByClass[i].Load())
+	}
+
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	if t.eventLog != nil {
+		if err := t.eventLog.Sync(); err != nil {
+			log.Printf("fleet: tenant %s event log sync: %v", t.ID, err)
+		}
+	}
+	w.I64(t.eventLogBytes)
+	w.Uint(uint64(len(t.events)))
+	for _, e := range t.events {
+		w.Int(int(e.Class))
+		w.String(e.Device)
+		w.String(e.Label)
+		w.Time(e.Time)
+		w.F64(e.Confidence)
+	}
+	w.Uint(uint64(len(t.deviations)))
+	for _, d := range t.deviations {
+		w.U8(uint8(d.Kind))
+		w.String(d.Device)
+		w.String(d.Detail)
+		w.Time(d.Time)
+		w.F64(d.Score)
+	}
+	return w.Bytes()
+}
+
+// restoreState is the inverse of marshalState. It runs before the
+// tenant's queue exists (no concurrent goroutines), so the atomics are
+// plain stores.
+func (t *Tenant) restoreState(data []byte) error {
+	r := snapio.NewReader(data)
+	if v := r.U8(); v != tenantSnapVersion && r.Err() == nil {
+		return fmt.Errorf("tenant snapshot version %d (want %d)", v, tenantSnapVersion)
+	}
+	received := r.I64()
+	fed := r.I64()
+	parseErrors := r.I64()
+	var byClass [len(parseClasses)]int64
+	for i := range byClass {
+		byClass[i] = r.I64()
+	}
+	eventLogBytes := r.I64()
+
+	var events []stream.Event
+	n := r.Length(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		events = append(events, stream.Event{
+			Class:  core.EventClass(r.Int()),
+			Device: r.String(),
+			Label:  r.String(),
+			Time:   r.Time(),
+		})
+		events[len(events)-1].Confidence = r.F64()
+	}
+	var deviations []stream.Deviation
+	n = r.Length(8)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		deviations = append(deviations, stream.Deviation{
+			Kind:   core.DeviationKind(r.U8()),
+			Device: r.String(),
+			Detail: r.String(),
+			Time:   r.Time(),
+		})
+		deviations[len(deviations)-1].Score = r.F64()
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+
+	t.received.Store(received)
+	t.fed.Store(fed)
+	t.parseErrors.Store(parseErrors)
+	for i := range byClass {
+		t.parseByClass[i].Store(byClass[i])
+	}
+	t.ringMu.Lock()
+	t.eventLogBytes = eventLogBytes
+	t.events = events
+	t.deviations = deviations
+	t.ringMu.Unlock()
+	return nil
+}
+
+// tryRestore attempts hot recovery from the tenant's store: load the
+// newest intact generation matching the fleet fingerprint, rebuild the
+// pipeline from snapshot bytes, and restore streaming + tenant state.
+// Any failure falls back to a fresh pipeline copy — resume is an
+// optimization, never a correctness requirement.
+func (t *Tenant) tryRestore(scfg stream.Config) bool {
+	if t.store == nil || !t.d.cfg.Resume {
+		return false
+	}
+	snap, err := t.store.Load(t.fingerprint)
+	if err != nil {
+		return false
+	}
+	pipe, err := core.UnmarshalPipeline(snap.Files[modelstore.FilePipeline])
+	if err != nil {
+		log.Printf("fleet: tenant %s resume: pipeline snapshot: %v; starting fresh", t.ID, err)
+		return false
+	}
+	m := stream.NewMonitor(pipe, t.d.cfg.AssemblerCfg, scfg)
+	if data := snap.Files[modelstore.FileMonitor]; len(data) > 0 {
+		if err := m.UnmarshalState(data); err != nil {
+			log.Printf("fleet: tenant %s resume: monitor snapshot: %v; starting fresh", t.ID, err)
+			return false
+		}
+	}
+	if data := snap.Files[modelstore.FileTenant]; len(data) > 0 {
+		if err := t.restoreState(data); err != nil {
+			log.Printf("fleet: tenant %s resume: tenant snapshot: %v; starting fresh", t.ID, err)
+			return false
+		}
+	}
+	t.pipe = pipe
+	t.monitor = m
+	t.storeGen.Store(int64(snap.Generation))
+	return true
+}

@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"behaviot/internal/modelstore"
+)
+
+// refRun is one single-tenant reference: the event-log bytes and final
+// snapshot files a tenant MUST produce when it replays its class alone
+// in a dedicated single-shard daemon.
+type refRun struct {
+	eventLog []byte
+	files    map[string][]byte
+}
+
+// snapshotFiles the oracle compares byte-for-byte. FilePipeline is
+// included deliberately: a tenant whose model state was perturbed by a
+// neighbor would diverge here first.
+var oracleFiles = []string{modelstore.FilePipeline, modelstore.FileMonitor, modelstore.FileTenant}
+
+// runReference replays one class in a fresh single-tenant, single-shard
+// daemon and captures its artifacts.
+func runReference(t *testing.T, fx *fleetFixture, class int) refRun {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := baseConfig(t, fx, 1, dir)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := d.Add("ref", "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, tn, fx.classes[class])
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logData, err := os.ReadFile(filepath.Join(cfg.EventLogDir, "ref.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logData) == 0 {
+		t.Fatalf("class %d reference produced an empty event log; the oracle would be vacuous", class)
+	}
+	s, err := modelstore.OpenTenant(cfg.StoreRoot, "ref", modelstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Load(cfg.Fingerprint)
+	if err != nil {
+		t.Fatalf("class %d reference final checkpoint: %v", class, err)
+	}
+	return refRun{eventLog: logData, files: snap.Files}
+}
+
+// TestFleetSoakIsolationOracle is the fleet's core correctness gate:
+// many tenants replaying concurrently through one daemon must each
+// produce BYTE-IDENTICAL event logs and final snapshots to a
+// single-tenant daemon replaying the same stream alone — for every
+// shard count. Any cross-tenant bleed (shared model state, misrouted
+// packets, interleaved logs, store collisions) breaks byte identity
+// somewhere. Tenant i replays stream class i%numStreamClasses, so
+// numStreamClasses reference runs cover the whole fleet.
+func TestFleetSoakIsolationOracle(t *testing.T) {
+	const tenants = 100
+	fx := getFixture(t)
+
+	refs := make([]refRun, numStreamClasses)
+	for k := range refs {
+		refs[k] = runReference(t, fx, k)
+	}
+
+	shardCounts := []int{1, 4, runtime.NumCPU()}
+	for _, shards := range shardCounts {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := baseConfig(t, fx, shards, dir)
+			d, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tns := make([]*Tenant, tenants)
+			for i := range tns {
+				tn, err := d.Add(fmt.Sprintf("home-%03d", i), fmt.Sprintf("tok-%03d", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tns[i] = tn
+			}
+
+			// All tenants replay concurrently — this is where cross-tenant
+			// interference would happen if it could.
+			var wg sync.WaitGroup
+			for i, tn := range tns {
+				wg.Add(1)
+				go func(i int, tn *Tenant) {
+					defer wg.Done()
+					for _, r := range fx.classes[i%numStreamClasses] {
+						if err := tn.IngestRecord(r.Time, r.Data, nil); err != nil {
+							t.Errorf("tenant %s: %v", tn.ID, err)
+							return
+						}
+					}
+				}(i, tn)
+			}
+			wg.Wait()
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Per-tenant counters must sum to exactly the records sent.
+			var sent, received int64
+			for i, tn := range tns {
+				sent += int64(len(fx.classes[i%numStreamClasses]))
+				received += tn.received.Load()
+			}
+			if received != sent {
+				t.Errorf("fleet received %d records, %d were sent", received, sent)
+			}
+
+			for i, tn := range tns {
+				ref := refs[i%numStreamClasses]
+				logData, err := os.ReadFile(filepath.Join(cfg.EventLogDir, tn.ID+".jsonl"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(logData, ref.eventLog) {
+					t.Errorf("tenant %s event log diverged from its single-tenant reference (%d vs %d bytes)",
+						tn.ID, len(logData), len(ref.eventLog))
+					continue
+				}
+				s, err := modelstore.OpenTenant(cfg.StoreRoot, tn.ID, modelstore.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap, err := s.Load(cfg.Fingerprint)
+				if err != nil {
+					t.Fatalf("tenant %s final checkpoint: %v", tn.ID, err)
+				}
+				for _, name := range oracleFiles {
+					if !bytes.Equal(snap.Files[name], ref.files[name]) {
+						t.Errorf("tenant %s final %s diverged from its single-tenant reference (%d vs %d bytes)",
+							tn.ID, name, len(snap.Files[name]), len(ref.files[name]))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,381 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"behaviot/internal/core"
+	"behaviot/internal/modelstore"
+	"behaviot/internal/netparse"
+	"behaviot/internal/pcapio"
+	"behaviot/internal/stream"
+)
+
+// ringSize bounds each tenant's recent-event and recent-deviation
+// buffers (same bound the single-tenant daemon uses).
+const ringSize = 256
+
+// parseClasses indexes the per-class parse error counters; the last
+// slot collects unclassified errors.
+var parseClasses = [...]string{
+	netparse.ClassChecksum, netparse.ClassMalformed,
+	netparse.ClassTruncated, netparse.ClassUnsupported, "other",
+}
+
+// ErrTenantClosed is returned by IngestRecord once a tenant has been
+// removed: ingest sources should stop sending and disconnect.
+var ErrTenantClosed = errors.New("fleet: tenant closed")
+
+// Tenant is one home's complete monitoring deployment: a private
+// pipeline copy, online monitor, bounded feed queue, recent-event
+// rings, JSONL event log, and a checkpoint store namespaced under the
+// fleet's store root. Nothing in here is shared with any other tenant
+// except the shard lock (a pure serialization domain) and the global
+// packet/buffer pools (whose objects are fully overwritten on reuse) —
+// the isolation the single≡multi byte-identity oracle pins.
+type Tenant struct {
+	// ID is the tenant's stable identifier (validated by
+	// modelstore.ValidTenantID; it names filesystem directories and
+	// metric labels).
+	ID string
+	// Shard is the ring-assigned shard index.
+	Shard int
+
+	token string // per-source ingest auth token
+	d     *Daemon
+
+	// shardMu is the owning shard's lock. Every monitor access —
+	// queue-sink feeds, checkpoints, status sampling — serializes on
+	// it, bounding feed concurrency to the shard count.
+	shardMu *sync.Mutex
+	monitor *stream.Monitor
+	pipe    *core.Pipeline
+	queue   *stream.Queue
+
+	ringMu     sync.Mutex // guards events, deviations, eventLog, eventLogBytes
+	events     []stream.Event
+	deviations []stream.Deviation
+	eventLog   *os.File
+	// eventLogBytes is the event log's durable high-water mark,
+	// recorded in checkpoints (same protocol as the single-tenant
+	// daemon).
+	eventLogBytes int64
+
+	// Ingest-health counters. received counts records read from ingest
+	// sources (pre-decode); fed counts packets dispatched into the
+	// queue. received == fed + parseErrors at every record boundary.
+	received     atomic.Int64
+	fed          atomic.Int64
+	parseErrors  atomic.Int64
+	parseByClass [len(parseClasses)]atomic.Int64
+
+	// Crash-safe checkpointing into the tenant's namespaced store.
+	// ckptMu serializes checkpoints: modelstore writes are not
+	// concurrency-safe, and the shard housekeeping worker, Remove, and
+	// Close may otherwise overlap.
+	store            *modelstore.Store
+	fingerprint      string
+	ckptMu           sync.Mutex
+	storeGen         atomic.Int64
+	lastCkptUnix     atomic.Int64
+	checkpointsTotal atomic.Int64
+
+	closed atomic.Bool
+}
+
+// newTenant builds a tenant on its assigned shard. The pipeline is a
+// private copy unmarshaled from the fleet's trained snapshot (or
+// restored from the tenant's own store when resuming), so no model
+// state is shared between tenants.
+func (d *Daemon) newTenant(id, token string, shardIdx int) (*Tenant, error) {
+	t := &Tenant{
+		ID:      id,
+		Shard:   shardIdx,
+		token:   token,
+		d:       d,
+		shardMu: &d.shards[shardIdx].mu,
+	}
+
+	if d.cfg.StoreRoot != "" {
+		store, err := modelstore.OpenTenant(d.cfg.StoreRoot, id, modelstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t.store = store
+	}
+	t.fingerprint = d.cfg.Fingerprint
+
+	scfg := d.cfg.StreamCfg
+	// The monitor recycles flow storage as soon as the callback
+	// returns; record drops e.Flow before retaining anything.
+	scfg.RecycleFlows = true
+	scfg.OnEvent = func(e stream.Event) { t.record(&e, nil) }
+	scfg.OnDeviation = func(dv stream.Deviation) { t.record(nil, &dv) }
+
+	if !t.tryRestore(scfg) {
+		pipe, err := core.UnmarshalPipeline(d.cfg.PipeSnap)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %s: pipeline snapshot: %w", id, err)
+		}
+		t.pipe = pipe
+		t.monitor = stream.NewMonitor(pipe, d.cfg.AssemblerCfg, scfg)
+	}
+
+	if d.cfg.EventLogDir != "" {
+		if err := t.openEventLog(filepath.Join(d.cfg.EventLogDir, id+".jsonl")); err != nil {
+			return nil, err
+		}
+	}
+
+	// The queue sink is the tenant's recycle point: feed the batch to
+	// the monitor under the shard lock, then return pooled packets (and
+	// their wire buffers) to the pools.
+	t.queue = stream.NewBatchQueue(d.cfg.QueueLen, d.cfg.FeedBatch, func(ps []*netparse.Packet) {
+		t.shardMu.Lock()
+		for _, p := range ps {
+			t.monitor.Feed(p)
+		}
+		t.shardMu.Unlock()
+		for _, p := range ps {
+			// PutBuf tolerates nil, so the detach-release pair stays
+			// unconditional (poolcheck R1: balanced on every path).
+			pcapio.PutBuf(p.DetachWire())
+			netparse.PutPacket(p)
+		}
+	})
+	return t, nil
+}
+
+// IngestRecord decodes one wire record into a pooled packet and feeds
+// it through the tenant's bounded queue (backpressure: the call blocks
+// while the queue is full, which is what pushes back on a socket
+// source). Decode failures are counted per error class and dropped,
+// never fatal. buf, when non-nil, is the pooled record buffer backing
+// data; it travels with the packet to the queue sink (the recycle
+// point) or is recycled here when decode fails.
+func (t *Tenant) IngestRecord(ts time.Time, data []byte, buf *[]byte) error {
+	if t.closed.Load() {
+		pcapio.PutBuf(buf)
+		return ErrTenantClosed
+	}
+	t.received.Add(1)
+	p := netparse.GetPacket()
+	if err := netparse.DecodeInto(p, data); err != nil {
+		t.countParseError(err)
+		netparse.PutPacket(p)
+		pcapio.PutBuf(buf)
+		return nil
+	}
+	p.Timestamp = ts
+	p.AttachWire(buf)
+	t.fed.Add(1)
+	t.queue.Feed(p) // sink recycles packet and buffer
+	return nil
+}
+
+func (t *Tenant) countParseError(err error) {
+	t.parseErrors.Add(1)
+	class := netparse.ErrorClass(err)
+	for i, c := range parseClasses {
+		if c == class {
+			t.parseByClass[i].Add(1)
+			return
+		}
+	}
+	t.parseByClass[len(parseClasses)-1].Add(1)
+}
+
+// record is the stream callback target. It runs while the shard lock
+// is held by the queue consumer, so it must only take ringMu.
+func (t *Tenant) record(e *stream.Event, d *stream.Deviation) {
+	t.ringMu.Lock()
+	if e != nil && e.Class == core.EventUser {
+		// Drop the flow reference before retaining the event: the
+		// monitor recycles flow storage once this callback returns.
+		e.Flow = nil
+		t.events = append(t.events, *e)
+		if len(t.events) > ringSize {
+			t.events = t.events[len(t.events)-ringSize:]
+		}
+		t.appendEventLogLocked(eventLogLine{
+			Type: "event", Time: e.Time, Device: e.Device,
+			Label: e.Label, Confidence: e.Confidence,
+		})
+	}
+	if d != nil {
+		t.deviations = append(t.deviations, *d)
+		if len(t.deviations) > ringSize {
+			t.deviations = t.deviations[len(t.deviations)-ringSize:]
+		}
+		t.appendEventLogLocked(eventLogLine{
+			Type: "deviation", Time: d.Time, Device: d.Device,
+			Kind: d.Kind.String(), Detail: d.Detail, Score: d.Score,
+		})
+	}
+	t.ringMu.Unlock()
+	// Publish to feed subscribers outside ringMu: a slow subscriber
+	// must not stall the shard's feed path (publish never blocks).
+	if e != nil && e.Class == core.EventUser {
+		t.d.publish(FeedItem{
+			Tenant: t.ID, Kind: "event", Time: e.Time, Device: e.Device,
+			Label: e.Label, Confidence: e.Confidence,
+		})
+	}
+	if d != nil {
+		t.d.publish(FeedItem{
+			Tenant: t.ID, Kind: "deviation", Time: d.Time, Device: d.Device,
+			Detail: d.Detail, DevKind: d.Kind.String(), Score: d.Score,
+		})
+	}
+}
+
+// eventLogLine is one JSONL record in a tenant's event log. Field
+// order and encoding are fixed (and identical to the single-tenant
+// daemon's), so runs that observe the same events produce
+// byte-identical logs — the fleet isolation oracle diffs them.
+type eventLogLine struct {
+	Type       string    `json:"type"`
+	Time       time.Time `json:"time"`
+	Device     string    `json:"device"`
+	Label      string    `json:"label,omitempty"`
+	Kind       string    `json:"kind,omitempty"`
+	Detail     string    `json:"detail,omitempty"`
+	Confidence float64   `json:"confidence,omitempty"`
+	Score      float64   `json:"score,omitempty"`
+}
+
+// openEventLog opens (creating if needed) the tenant's event log and
+// truncates it to the restored high-water mark, exactly like the
+// single-tenant daemon: lines a crashed process appended after its
+// last durable checkpoint are discarded.
+func (t *Tenant) openEventLog(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %s event log: %w", t.ID, err)
+	}
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	if err := f.Truncate(t.eventLogBytes); err != nil {
+		f.Close() //lint:ignore errcheck truncate error already being reported
+		return fmt.Errorf("fleet: tenant %s event log: %w", t.ID, err)
+	}
+	if _, err := f.Seek(t.eventLogBytes, io.SeekStart); err != nil {
+		f.Close() //lint:ignore errcheck seek error already being reported
+		return fmt.Errorf("fleet: tenant %s event log: %w", t.ID, err)
+	}
+	t.eventLog = f
+	return nil
+}
+
+// appendEventLogLocked writes one line to the event log. Caller holds ringMu.
+func (t *Tenant) appendEventLogLocked(line eventLogLine) {
+	if t.eventLog == nil {
+		return
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		log.Printf("fleet: tenant %s event log: %v", t.ID, err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := t.eventLog.Write(data); err != nil {
+		log.Printf("fleet: tenant %s event log: %v", t.ID, err)
+		return
+	}
+	t.eventLogBytes += int64(len(data))
+}
+
+// Status returns the tenant's live counters in the /tenants/{id}/status
+// JSON shape (a superset of the single-tenant /status body).
+func (t *Tenant) Status() map[string]any {
+	t.shardMu.Lock()
+	st := t.monitor.Stats()
+	t.shardMu.Unlock()
+	qs := t.queue.Stats()
+	body := map[string]any{
+		"tenant":           t.ID,
+		"shard":            t.Shard,
+		"stream_time":      st.StreamTime,
+		"packets":          st.Packets,
+		"flows":            st.Flows,
+		"periodic":         st.Periodic,
+		"user":             st.User,
+		"aperiodic":        st.Aperiodic,
+		"traces":           st.Traces,
+		"deviations":       st.Deviations,
+		"late_dropped":     st.LateDropped,
+		"received_records": t.received.Load(),
+		"fed_records":      t.fed.Load(),
+		"parse_errors":     t.parseErrors.Load(),
+		"queue_depth":      t.queue.Depth(),
+		"queue_fed":        qs.Fed,
+		"queue_shed":       qs.Shed,
+		"queue_waits":      qs.BackpressureWaits,
+	}
+	classes := map[string]int64{}
+	for i, c := range parseClasses {
+		if n := t.parseByClass[i].Load(); n > 0 {
+			classes[c] = n
+		}
+	}
+	if len(classes) > 0 {
+		body["parse_errors_by_class"] = classes
+	}
+	if t.store != nil {
+		body["store_generation"] = t.storeGen.Load()
+		body["checkpoints_total"] = t.checkpointsTotal.Load()
+		if last := t.lastCkptUnix.Load(); last > 0 {
+			body["last_checkpoint_age_seconds"] = time.Since(time.Unix(0, last)).Seconds()
+		}
+	}
+	return body
+}
+
+// Events returns a copy of the tenant's recent user events.
+func (t *Tenant) Events() []stream.Event {
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	return append([]stream.Event(nil), t.events...)
+}
+
+// Deviations returns a copy of the tenant's recent deviations.
+func (t *Tenant) Deviations() []stream.Deviation {
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	return append([]stream.Deviation(nil), t.deviations...)
+}
+
+// close drains and finalizes the tenant: no new ingest, queue drained
+// into the monitor, a final checkpoint landed, the event log closed.
+// Idempotent; called by Remove and Daemon.Close.
+func (t *Tenant) close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	// Close drains: every packet already accepted reaches the monitor
+	// before it returns. Producers racing the close have their packets
+	// counted as shed and recycled by the queue itself.
+	t.queue.Close()
+	// Flush trailing flows through classification (same finalization
+	// the single-tenant daemon performs before its final checkpoint).
+	t.shardMu.Lock()
+	t.monitor.Close()
+	t.shardMu.Unlock()
+	t.checkpoint()
+	t.ringMu.Lock()
+	if t.eventLog != nil {
+		if err := t.eventLog.Close(); err != nil {
+			log.Printf("fleet: tenant %s event log close: %v", t.ID, err)
+		}
+		t.eventLog = nil
+	}
+	t.ringMu.Unlock()
+}

@@ -16,13 +16,28 @@ import (
 // and counts instead (load shedding, for live capture where blocking
 // the tap loses packets anyway). This is the behaviotd -queue knob.
 type Queue struct {
-	ch      chan item
-	dropped atomic.Int64
+	ch chan item
+
+	// Per-instance health counters. Each Queue owns its own set, so in
+	// a multi-tenant deployment one noisy home's sheds and stalls show
+	// up on its own queue instead of vanishing into (or masking) a
+	// process-wide aggregate.
+	fed     atomic.Int64 // packets accepted into the channel
+	dropped atomic.Int64 // packets shed by Offer or post-close Feed
+	waits   atomic.Int64 // Feed calls that found the queue full and blocked
 
 	mu     sync.RWMutex // guards closed
 	closed bool
 
 	wg sync.WaitGroup
+}
+
+// QueueStats is a point-in-time sample of one queue's counters.
+type QueueStats struct {
+	Fed               int64 // packets accepted into the queue
+	Shed              int64 // packets dropped by Offer or post-close Feed
+	BackpressureWaits int64 // Feed calls that blocked on a full queue
+	Depth             int   // current occupancy
 }
 
 // item is one queue element: a packet, or a flush marker whose ack
@@ -135,7 +150,18 @@ func (q *Queue) Feed(p *netparse.Packet) {
 		q.dropped.Add(1)
 		return
 	}
+	// Try the fast path first so a genuine stall is observable: when
+	// the queue is full the blocking send below is a backpressure wait,
+	// and the counter tells a full queue apart from a merely busy one.
+	select {
+	case q.ch <- item{p: p}:
+		q.fed.Add(1)
+		return
+	default:
+	}
+	q.waits.Add(1)
 	q.ch <- item{p: p}
+	q.fed.Add(1)
 }
 
 // Flush blocks until every packet enqueued before the call has been
@@ -170,6 +196,7 @@ func (q *Queue) Offer(p *netparse.Packet) bool {
 	}
 	select {
 	case q.ch <- item{p: p}:
+		q.fed.Add(1)
 		return true
 	default:
 		recycle(p)
@@ -183,6 +210,17 @@ func (q *Queue) Dropped() int64 { return q.dropped.Load() }
 
 // Depth returns the current queue occupancy (for gauges).
 func (q *Queue) Depth() int { return len(q.ch) }
+
+// Stats samples this queue's counters. Counters are per-instance by
+// construction; fleet /metrics exposes them per tenant.
+func (q *Queue) Stats() QueueStats {
+	return QueueStats{
+		Fed:               q.fed.Load(),
+		Shed:              q.dropped.Load(),
+		BackpressureWaits: q.waits.Load(),
+		Depth:             len(q.ch),
+	}
+}
 
 // Close stops accepting packets, waits for the consumer to drain what
 // was queued, and returns. Safe to call more than once; producers

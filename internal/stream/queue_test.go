@@ -173,3 +173,71 @@ func TestMaxSkewDropsAncientPackets(t *testing.T) {
 		t.Errorf("Packets = %d, want 3", st.Packets)
 	}
 }
+
+// TestQueueStatsPerInstance verifies each queue owns its counters: two
+// queues fed differently report independent Fed/Shed/BackpressureWaits,
+// so one tenant's noisy queue cannot mask another's drops.
+func TestQueueStatsPerInstance(t *testing.T) {
+	quiet := NewQueue(8, func(p *netparse.Packet) {})
+	release := make(chan struct{})
+	noisy := NewQueue(2, func(p *netparse.Packet) { <-release })
+
+	for i := 0; i < 10; i++ {
+		quiet.Feed(&netparse.Packet{})
+	}
+	for i := 0; i < 10; i++ {
+		noisy.Offer(&netparse.Packet{})
+	}
+	close(release)
+	quiet.Close()
+	noisy.Close()
+
+	qs, ns := quiet.Stats(), noisy.Stats()
+	if qs.Fed != 10 || qs.Shed != 0 {
+		t.Errorf("quiet queue stats = %+v, want Fed=10 Shed=0", qs)
+	}
+	if ns.Shed == 0 {
+		t.Error("noisy queue shed nothing against a wedged consumer")
+	}
+	if ns.Fed+ns.Shed != 10 {
+		t.Errorf("noisy Fed(%d) + Shed(%d) != 10 offered", ns.Fed, ns.Shed)
+	}
+	if qs.Shed != 0 {
+		t.Errorf("noisy queue's sheds leaked into the quiet queue: %+v", qs)
+	}
+	if ns.BackpressureWaits != 0 {
+		t.Errorf("Offer never blocks but counted %d waits", ns.BackpressureWaits)
+	}
+}
+
+// TestQueueFeedCountsBackpressureWaits verifies Feed distinguishes a
+// full-queue stall from a clean enqueue.
+func TestQueueFeedCountsBackpressureWaits(t *testing.T) {
+	release := make(chan struct{})
+	q := NewQueue(1, func(p *netparse.Packet) { <-release })
+	q.Feed(&netparse.Packet{}) // wedges in the sink
+	q.Feed(&netparse.Packet{}) // fills the buffer
+	done := make(chan struct{})
+	go func() {
+		q.Feed(&netparse.Packet{}) // must block, counting a wait
+		close(done)
+	}()
+	// The blocked Feed registers its wait before the send completes.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Stats().BackpressureWaits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocked Feed never counted a backpressure wait")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+	q.Close()
+	st := q.Stats()
+	if st.Fed != 3 {
+		t.Errorf("Fed = %d, want 3", st.Fed)
+	}
+	if st.BackpressureWaits < 1 {
+		t.Errorf("BackpressureWaits = %d, want >= 1", st.BackpressureWaits)
+	}
+}
