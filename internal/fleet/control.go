@@ -79,9 +79,19 @@ func (d *Daemon) handleAddTenant(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := d.Add(req.ID, req.Token)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, ErrTenantExists) {
+		// Only validation failures are the client's fault; anything
+		// else (store open, event-log I/O, ...) is a server problem
+		// and must not masquerade as a 400.
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrTenantExists):
 			status = http.StatusConflict
+		case errors.Is(err, ErrBadTenantID),
+			errors.Is(err, ErrTokenRequired),
+			errors.Is(err, errTokenHasSpace):
+			status = http.StatusBadRequest
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
 		return

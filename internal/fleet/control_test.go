@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -149,6 +151,50 @@ func TestControlAddRemoveUnderLiveIngest(t *testing.T) {
 	}
 	if resp, _ := doJSON(t, http.MethodDelete, ts.URL+"/tenants/ghost", nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown DELETE = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestControlAddErrorStatuses pins the POST /tenants status mapping:
+// validation failures are the client's fault (400), duplicates 409,
+// server-side construction failures 500, and a closed daemon 503 —
+// an infrastructure problem must never masquerade as a 400.
+func TestControlAddErrorStatuses(t *testing.T) {
+	fx := getFixture(t)
+	cfg := baseConfig(t, fx, 1, t.TempDir())
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newControlServer(t, d)
+
+	for _, tc := range []struct {
+		name string
+		body map[string]string
+		want int
+	}{
+		{"bad id", map[string]string{"id": "../etc", "token": "x"}, http.StatusBadRequest},
+		{"empty token", map[string]string{"id": "home-1", "token": ""}, http.StatusBadRequest},
+		{"spacey token", map[string]string{"id": "home-1", "token": "a b"}, http.StatusBadRequest},
+	} {
+		if resp, body := doJSON(t, http.MethodPost, ts.URL+"/tenants", tc.body); resp.StatusCode != tc.want {
+			t.Errorf("%s POST = %d, want %d: %s", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+
+	// A tenant whose event-log path is unopenable (a directory squats
+	// on it) fails construction server-side: 500, not 400.
+	if err := os.Mkdir(filepath.Join(cfg.EventLogDir, "busted.jsonl"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := doJSON(t, http.MethodPost, ts.URL+"/tenants", map[string]string{"id": "busted", "token": "x"}); resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("I/O-failure POST = %d, want 500: %s", resp.StatusCode, body)
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := doJSON(t, http.MethodPost, ts.URL+"/tenants", map[string]string{"id": "home-1", "token": "x"}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST after Close = %d, want 503: %s", resp.StatusCode, body)
 	}
 }
 

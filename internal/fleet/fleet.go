@@ -78,8 +78,13 @@ type Daemon struct {
 	ring   *Ring
 	shards []*shard
 
-	mu      sync.RWMutex // guards tenants, closed
+	mu      sync.RWMutex // guards tenants, pending, closed
 	tenants map[string]*Tenant
+	// pending holds IDs whose on-disk state is busy outside the lock:
+	// an Add constructing its tenant, or a Remove still draining. An
+	// ID in here is exclusively owned — a concurrent Add is rejected
+	// before it can touch the same store or event log.
+	pending map[string]struct{}
 	closed  bool
 
 	feed *feedHub
@@ -104,6 +109,7 @@ func New(cfg Config) (*Daemon, error) {
 		cfg:     cfg,
 		ring:    NewRing(cfg.Shards),
 		tenants: map[string]*Tenant{},
+		pending: map[string]struct{}{},
 		feed:    newFeedHub(),
 	}
 	d.shards = make([]*shard, cfg.Shards)

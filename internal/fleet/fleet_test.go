@@ -248,6 +248,77 @@ func TestParseTenantsFile(t *testing.T) {
 	}
 }
 
+// TestDuplicateAddLeavesLiveTenantIntact pins the reservation fix: a
+// duplicate Add must be rejected before any on-disk state is touched.
+// The pre-fix code built the new tenant first, which truncated the
+// live tenant's event log under its open handle (the live fd kept
+// writing at its old offset, leaving a NUL hole) and checkpointed
+// fresh state into the live tenant's store on the failure path.
+func TestDuplicateAddLeavesLiveTenantIntact(t *testing.T) {
+	fx := getFixture(t)
+	cfg := baseConfig(t, fx, 2, t.TempDir())
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := d.Add("home-1", "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, tn, fx.classes[0][:200])
+	tn.queue.Flush()
+	// Land a deterministic log line through the tenant's own record
+	// path (deviations from the replay only finalize at close, which
+	// would be too late to snapshot a non-empty log here).
+	tn.record(nil, &stream.Deviation{
+		Kind: core.DevPeriodic, Device: "Gosund Bulb",
+		Detail: "went dark", Time: time.Unix(0, 0).UTC(),
+	})
+	tn.checkpoint()
+	genBefore := tn.storeGen.Load()
+	logPath := filepath.Join(cfg.EventLogDir, "home-1.jsonl")
+	logBefore, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logBefore) == 0 {
+		t.Fatal("event log empty after recording a deviation")
+	}
+
+	if _, err := d.Add("home-1", "tok-other"); !errors.Is(err, ErrTenantExists) {
+		t.Fatalf("duplicate Add = %v, want ErrTenantExists", err)
+	}
+	logAfterDup, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(logAfterDup, logBefore) {
+		t.Fatalf("duplicate Add disturbed the live event log (%d bytes vs %d)",
+			len(logAfterDup), len(logBefore))
+	}
+
+	// The live tenant keeps working: another line lands and the final
+	// log is the pre-duplicate bytes plus appended lines — no
+	// truncation hole where the prefix used to be.
+	tn.record(nil, &stream.Deviation{
+		Kind: core.DevPeriodic, Device: "TPLink Plug",
+		Detail: "went dark", Time: time.Unix(1, 0).UTC(),
+	})
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tn.storeGen.Load(); got < genBefore {
+		t.Errorf("store generation went backwards across the duplicate Add (%d -> %d)", genBefore, got)
+	}
+	logFinal, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logFinal) < len(logBefore) || !bytes.Equal(logFinal[:len(logBefore)], logBefore) {
+		t.Error("final event log does not extend the pre-duplicate log; the duplicate Add corrupted it")
+	}
+}
+
 // TestTenantIngestAccounting pins the counter invariants one tenant
 // maintains: received == fed + parseErrors, and the monitor consumes
 // exactly the fed packets once drained.

@@ -47,11 +47,25 @@ const (
 	// maxHelloLen bounds the hello line so a garbage peer cannot make
 	// the server buffer unbounded input before authentication.
 	maxHelloLen = 256
+	// DefaultHelloTimeout bounds the unauthenticated hello exchange.
+	// An unauthenticated peer that connects and stalls would otherwise
+	// pin a goroutine, a connection slot, and a read buffer until
+	// server Close — a trivial slowloris hold on a reachable port.
+	DefaultHelloTimeout = 10 * time.Second
 )
 
 // Server accepts ingest connections and routes them to fleet tenants.
 // One Server can serve any number of listeners (unix + TCP together).
 type Server struct {
+	// HelloTimeout is the read deadline covering the unauthenticated
+	// hello exchange; zero means DefaultHelloTimeout. Set before Serve.
+	HelloTimeout time.Duration
+	// IdleTimeout, when positive, is re-armed before every record read
+	// after authentication: a source that goes silent longer is cut
+	// off. Zero (the default) means no idle limit — a quiet home
+	// legitimately sends nothing for long stretches. Set before Serve.
+	IdleTimeout time.Duration
+
 	d            *fleet.Daemon
 	maxRecordLen uint32
 
@@ -157,6 +171,14 @@ func (s *Server) handleConn(c net.Conn) {
 	defer s.forget(c)
 	defer c.Close() //lint:ignore errcheck read side already drained or errored; nothing actionable in the close result
 
+	// The peer is unauthenticated until the hello round-trips; bound
+	// how long it may hold this goroutine before proving it belongs.
+	hello := s.HelloTimeout
+	if hello <= 0 {
+		hello = DefaultHelloTimeout
+	}
+	c.SetReadDeadline(time.Now().Add(hello)) //lint:ignore errcheck a conn that rejects deadlines just keeps the pre-fix behavior
+
 	br := bufio.NewReaderSize(c, 32<<10)
 	id, token, err := readHello(br)
 	if err != nil {
@@ -171,10 +193,16 @@ func (s *Server) handleConn(c net.Conn) {
 	if !writeLine(c, "OK") {
 		return
 	}
+	// Authenticated: drop the hello deadline. Each record read below
+	// re-arms the optional idle deadline instead.
+	c.SetReadDeadline(time.Time{}) //lint:ignore errcheck symmetric with the arm above
 
 	var consumed int64
 	var hdr [recordHeaderLen]byte
 	for {
+		if s.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.IdleTimeout)) //lint:ignore errcheck best-effort idle guard
+		}
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err == io.EOF {
 				// Clean half-close: every record sent was consumed.

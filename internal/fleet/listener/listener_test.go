@@ -184,6 +184,48 @@ func TestAuthRejection(t *testing.T) {
 	c.Close() //lint:ignore errcheck test connection teardown
 }
 
+// TestHelloTimeoutDropsSilentPeer pins the slowloris guard: a peer
+// that connects and never completes the hello is disconnected when the
+// hello deadline expires, instead of pinning a handler goroutine and
+// its buffer until server Close.
+func TestHelloTimeoutDropsSilentPeer(t *testing.T) {
+	fx := getFixture(t)
+	d := newFleet(t, fx)
+	defer d.Close() //lint:ignore errcheck fleet.Close always returns nil; deferred for cleanup only
+	if _, err := d.Add("home-1", "tok"); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(d)
+	srv.HelloTimeout = 100 * time.Millisecond
+	defer srv.Close() //lint:ignore errcheck double Close is a no-op; deferred for cleanup only
+	addr := serveUnix(t, srv)
+
+	c, err := net.Dial("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //lint:ignore errcheck test connection teardown
+	// Send nothing. The server must give up on us without our help;
+	// the client-side deadline only stops the test hanging on failure.
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	start := time.Now()
+	var readErr error
+	for readErr == nil {
+		// The server may write an ERR line on its way out; keep reading
+		// until it actually closes the connection.
+		_, readErr = c.Read(buf)
+	}
+	if ne, ok := readErr.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never dropped the silent peer; the client-side deadline fired instead")
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("server took %v to drop a silent peer with a 100ms hello timeout", waited)
+	}
+}
+
 // TestOversizedRecordRejected pins the length guard: a header claiming
 // a payload beyond the cap ends the connection with an error line
 // instead of buffering unbounded input.

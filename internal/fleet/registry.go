@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"crypto/subtle"
 	"errors"
 	"fmt"
@@ -37,26 +38,47 @@ func (d *Daemon) Add(id, token string) (*Tenant, error) {
 		return nil, errTokenHasSpace
 	}
 
-	// Build the tenant outside the registry lock: construction
-	// unmarshals a pipeline copy and may touch disk, and Add must not
-	// stall Authenticate/Get on the ingest path. The brief existence
-	// race (two concurrent Adds of one ID) is resolved below.
-	shardIdx := d.ring.Lookup(id)
-	t, err := d.newTenant(id, token, shardIdx)
-	if err != nil {
-		return nil, err
-	}
-
+	// Reserve the ID before constructing anything: newTenant touches
+	// the tenant's on-disk state (store open, event-log truncate), so
+	// a duplicate Add must be rejected while the ID is still just a
+	// map key. Building first and checking after would truncate the
+	// live tenant's event log out from under its open handle and race
+	// a second checkpoint writer against the live tenant's own. The
+	// reservation also excludes a Remove still draining this ID.
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		t.close()
 		return nil, ErrClosed
 	}
-	if _, ok := d.tenants[id]; ok {
+	_, live := d.tenants[id]
+	_, busy := d.pending[id]
+	if live || busy {
 		d.mu.Unlock()
-		t.close()
 		return nil, fmt.Errorf("%w: %q", ErrTenantExists, id)
+	}
+	d.pending[id] = struct{}{}
+	d.mu.Unlock()
+
+	// Build outside the registry lock: construction unmarshals a
+	// pipeline copy and may touch disk, and Add must not stall
+	// Authenticate/Get on the ingest path. The reservation makes the
+	// ID — and its store and event-log paths — exclusively ours.
+	shardIdx := d.ring.Lookup(id)
+	t, err := d.newTenant(id, token, shardIdx)
+
+	d.mu.Lock()
+	delete(d.pending, id)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	if d.closed {
+		// Close ran while we were building and never saw this tenant;
+		// discard it without a checkpoint (it observed no traffic, and
+		// a fresh-state generation could clobber resumable state).
+		d.mu.Unlock()
+		t.discard()
+		return nil, ErrClosed
 	}
 	d.tenants[id] = t
 	d.mu.Unlock()
@@ -74,12 +96,19 @@ func (d *Daemon) Remove(id string) error {
 	t, ok := d.tenants[id]
 	if ok {
 		delete(d.tenants, id)
+		// Hold the ID reserved until the drain completes: a concurrent
+		// Add of the same ID would otherwise truncate the event log and
+		// open the store while close is still writing through both.
+		d.pending[id] = struct{}{}
 	}
 	d.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrTenantUnknown, id)
 	}
 	t.close()
+	d.mu.Lock()
+	delete(d.pending, id)
+	d.mu.Unlock()
 	return nil
 }
 
@@ -90,19 +119,24 @@ func (d *Daemon) Get(id string) *Tenant {
 	return d.tenants[id]
 }
 
-// Authenticate resolves ingest credentials to a tenant. The token
-// comparison is constant-time; unknown tenant and bad token are
-// deliberately the same error so a probe cannot enumerate tenant IDs.
+// Authenticate resolves ingest credentials to a tenant. Tokens are
+// compared as fixed-length sha256 digests so the comparison cost never
+// depends on the stored token's length, and the unknown-tenant path
+// burns the same hash-and-compare work as the known-tenant path —
+// unknown tenant and bad token are deliberately the same error, and
+// indistinguishable by timing, so a probe cannot enumerate tenant IDs.
 func (d *Daemon) Authenticate(id, token string) (*Tenant, error) {
 	d.mu.RLock()
 	t := d.tenants[id]
 	d.mu.RUnlock()
+	supplied := sha256.Sum256([]byte(token))
 	if t == nil {
-		// Burn the comparison anyway so the miss is not a timing oracle.
-		subtle.ConstantTimeCompare([]byte(token), []byte(token))
+		decoy := sha256.Sum256(supplied[:])
+		subtle.ConstantTimeCompare(supplied[:], decoy[:])
 		return nil, ErrUnauthorized
 	}
-	if subtle.ConstantTimeCompare([]byte(token), []byte(t.token)) != 1 {
+	stored := sha256.Sum256([]byte(t.token))
+	if subtle.ConstantTimeCompare(supplied[:], stored[:]) != 1 {
 		return nil, ErrUnauthorized
 	}
 	return t, nil

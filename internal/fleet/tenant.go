@@ -353,6 +353,24 @@ func (t *Tenant) Deviations() []stream.Deviation {
 	return append([]stream.Deviation(nil), t.deviations...)
 }
 
+// discard disposes of a tenant that never entered the registry (an
+// Add that lost the race with Daemon.Close). Unlike close it writes
+// nothing: this instance observed no traffic, and a checkpoint here
+// would burn a store generation on state a future Resume already has.
+// It only releases what newTenant opened.
+func (t *Tenant) discard() {
+	t.closed.Store(true)
+	t.queue.Close()
+	t.ringMu.Lock()
+	if t.eventLog != nil {
+		if err := t.eventLog.Close(); err != nil {
+			log.Printf("fleet: tenant %s event log close: %v", t.ID, err)
+		}
+		t.eventLog = nil
+	}
+	t.ringMu.Unlock()
+}
+
 // close drains and finalizes the tenant: no new ingest, queue drained
 // into the monitor, a final checkpoint landed, the event log closed.
 // Idempotent; called by Remove and Daemon.Close.
