@@ -7,7 +7,7 @@ GO ?= go
 	fmt-check check clean \
 	bench bench-json bench-ratchet experiments-quick \
 	experiments-expectations experiments-train fuzz-smoke crash-recovery \
-	fleet-soak
+	fleet-soak fault-soak
 
 # Date stamp for benchmark artifacts (UTC, override with BENCH_DATE=).
 BENCH_DATE ?= $(shell date -u +%F)
@@ -156,6 +156,22 @@ crash-recovery:
 fleet-soak:
 	$(GO) test -race -run 'TestFleetSoak' -count=1 -timeout 20m -v \
 		./internal/fleet/ ./cmd/behaviotd/
+
+## fault-soak: the fleet supervision gate, all under -race. Injected
+## storage faults (a path-scoped write-failing store) must degrade only
+## the faulted tenant, surface on /metrics and /healthz, and heal
+## through the housekeeper's backoff-paced retry once the disk comes
+## back — with the store's CRC manifest walk showing no lost
+## generations. An induced panic inside one tenant's feed path must
+## quarantine exactly that tenant (every neighbor byte-identical to its
+## single-tenant reference run), reject its ingest distinctly, and
+## recover through POST /tenants/{id}/restart from the last durable
+## checkpoint, with the crash-loop budget capping repeated restarts.
+## Set BEHAVIOT_SOAK_DIR to keep artifacts (event logs, stores) from
+## failing runs for upload; -count=1 forces fresh runs.
+fault-soak:
+	$(GO) test -race -run 'TestFaultSoak' -count=1 -timeout 20m -v \
+		./internal/fleet/
 
 ## check: everything CI runs
 check: build vet fmt-check lint lint-timing test race

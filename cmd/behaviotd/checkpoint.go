@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"behaviot/internal/backoff"
 	"behaviot/internal/core"
 	"behaviot/internal/flows"
 	"behaviot/internal/modelstore"
@@ -40,13 +41,20 @@ func fileCRC(path string) (uint32, error) {
 // only point where monitor state is consistent with the feed cursor. It
 // returns true when the feeder must stop (shutdown requested); a final
 // checkpoint has then already been written. Periodic checkpoints fire
-// when the interval ticker has raised ckptDue.
+// when the interval ticker has raised ckptDue; after a failed write the
+// backoff schedule overrides the ticker, so a struggling disk sees the
+// next attempt only when the retry delay has elapsed — the same pacing
+// the fleet housekeeper applies per tenant.
 func (s *server) maybeCheckpoint() bool {
 	if s.stopping.Load() {
 		s.checkpoint()
 		return true
 	}
-	if s.ckptDue.Swap(false) {
+	due := s.ckptDue.Swap(false)
+	if retryAt := s.ckptRetryAtUnix.Load(); retryAt > 0 {
+		due = time.Now().UnixNano() >= retryAt
+	}
+	if due {
 		s.checkpoint()
 	}
 	return false
@@ -76,9 +84,15 @@ func (s *server) checkpoint() {
 		modelstore.FileDaemon:   daemonSnap,
 	})
 	if err != nil {
-		log.Printf("checkpoint failed: %v", err)
+		failures := s.ckptFailures.Add(1)
+		s.ckptFailuresTotal.Add(1)
+		delay := s.ckptBackoff.Delay(int(failures), backoff.Seed(s.fingerprint))
+		s.ckptRetryAtUnix.Store(time.Now().Add(delay).UnixNano())
+		log.Printf("checkpoint failed (attempt %d, retry in %s): %v", failures, delay, err)
 		return
 	}
+	s.ckptFailures.Store(0)
+	s.ckptRetryAtUnix.Store(0)
 	s.storeGen.Store(int64(gen))
 	s.lastCkptUnix.Store(time.Now().UnixNano())
 	s.checkpointsTotal.Add(1)

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"behaviot/internal/backoff"
+	"behaviot/internal/faultfs"
+	"behaviot/internal/modelstore"
+)
+
+// TestCheckpointRetryBackoffOnStoreFault pins the single-tenant daemon's
+// checkpoint failure handling to the fleet's contract: a failed store
+// write increments behaviot_checkpoint_failures_total (and the /status
+// counter), schedules the retry on the backoff policy instead of the
+// ticker, and — once the disk recovers — the retry lands a generation
+// and resets the consecutive-failure streak.
+func TestCheckpointRetryBackoffOnStoreFault(t *testing.T) {
+	srv := newTestServer(t)
+	inj := faultfs.New(faultfs.OS{}, faultfs.FailOp{
+		Kind: faultfs.OpWrite, Nth: 1, Count: 1 << 30, Err: faultfs.ENOSPC,
+	})
+	var err error
+	srv.store, err = modelstore.Open(t.TempDir(), modelstore.Options{FS: inj})
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	srv.fingerprint = "behaviotd-test/v1"
+	// A huge base makes "the retry is paced out" assertable without
+	// sleeping: nothing short of the explicit fast-forward below can
+	// make the retry due.
+	srv.ckptBackoff = backoff.Policy{Base: time.Hour, Max: time.Hour, JitterFrac: -1}
+
+	srv.ckptDue.Store(true)
+	srv.maybeCheckpoint()
+	if got := srv.ckptFailuresTotal.Load(); got != 1 {
+		t.Fatalf("checkpoint_failures_total = %d after injected ENOSPC, want 1", got)
+	}
+	if srv.storeGen.Load() != 0 {
+		t.Error("a generation landed despite the injected write fault")
+	}
+	retryAt := srv.ckptRetryAtUnix.Load()
+	if retryAt <= time.Now().UnixNano() {
+		t.Fatalf("retry scheduled at %d, want in the future", retryAt)
+	}
+
+	// The failure is on both surfaces.
+	rec := httptest.NewRecorder()
+	srv.handleMetrics(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if v := metricValue(t, rec.Body.String(), "behaviot_checkpoint_failures_total"); v != 1 {
+		t.Errorf("behaviot_checkpoint_failures_total = %d, want 1", v)
+	}
+	rec = httptest.NewRecorder()
+	srv.handleStatus(rec, httptest.NewRequest("GET", "/status", nil))
+	if !strings.Contains(rec.Body.String(), "checkpoint_failures_total") {
+		t.Errorf("/status missing checkpoint_failures_total:\n%s", rec.Body.String())
+	}
+
+	// While the retry is pending, ticker ticks do not hammer the disk:
+	// the backoff schedule overrides ckptDue.
+	srv.ckptDue.Store(true)
+	srv.maybeCheckpoint()
+	if got := srv.ckptFailuresTotal.Load(); got != 1 {
+		t.Errorf("paced-out tick still attempted a checkpoint (failures = %d)", got)
+	}
+
+	// Disk recovers; fast-forward past the retry instant. The next
+	// record boundary retries even without a ticker tick, lands the
+	// generation, and clears the streak.
+	inj.SetRules()
+	srv.ckptRetryAtUnix.Store(time.Now().Add(-time.Millisecond).UnixNano())
+	srv.maybeCheckpoint()
+	if got := srv.storeGen.Load(); got != 1 {
+		t.Fatalf("store generation = %d after recovery retry, want 1", got)
+	}
+	if got := srv.ckptFailures.Load(); got != 0 {
+		t.Errorf("consecutive failure streak = %d after success, want 0", got)
+	}
+	if got := srv.ckptRetryAtUnix.Load(); got != 0 {
+		t.Errorf("retry schedule not cleared after success (%d)", got)
+	}
+	if got := srv.checkpointsTotal.Load(); got != 1 {
+		t.Errorf("checkpoints_total = %d, want 1", got)
+	}
+	// Lifetime failure counter is monotonic — success does not erase it.
+	if got := srv.ckptFailuresTotal.Load(); got != 1 {
+		t.Errorf("checkpoint_failures_total = %d after recovery, want still 1", got)
+	}
+}

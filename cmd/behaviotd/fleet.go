@@ -133,10 +133,9 @@ func runFleet(opts fleetOptions) int {
 		go func() { serveErr <- srv.Serve(l) }()
 	}
 
+	// /healthz is the fleet's own (degraded/quarantined rollup), mounted
+	// by RegisterHandlers alongside the rest of the control plane.
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
 	d.RegisterHandlers(mux)
 	httpLn, err := net.Listen("tcp", opts.listen)
 	if err != nil {

@@ -52,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"behaviot/internal/backoff"
 	"behaviot/internal/chaos"
 	"behaviot/internal/core"
 	"behaviot/internal/datasets"
@@ -118,6 +119,18 @@ type server struct {
 	storeGen         atomic.Int64
 	lastCkptUnix     atomic.Int64
 	checkpointsTotal atomic.Int64
+
+	// Checkpoint retry pacing: the same failure accounting and backoff
+	// policy the fleet housekeeper applies per tenant. ckptFailures is
+	// the consecutive-failure streak (reset when a write lands),
+	// ckptFailuresTotal the lifetime counter surfaced on /status and
+	// /metrics, and ckptRetryAtUnix the earliest instant the next
+	// attempt may run — a full disk is retried on the backoff schedule,
+	// not hammered every ticker interval.
+	ckptFailures      atomic.Int64
+	ckptFailuresTotal atomic.Int64
+	ckptRetryAtUnix   atomic.Int64
+	ckptBackoff       backoff.Policy
 
 	// eventLog (-eventlog) appends one JSONL line per user event and
 	// deviation; eventLogBytes is its durable high-water mark. Both are
@@ -478,6 +491,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		body["store_generation"] = s.storeGen.Load()
 		body["checkpoints_total"] = s.checkpointsTotal.Load()
+		body["checkpoint_failures_total"] = s.ckptFailuresTotal.Load()
 		if last := s.lastCkptUnix.Load(); last > 0 {
 			age := time.Since(time.Unix(0, last)).Seconds()
 			body["last_checkpoint_age_seconds"] = age
@@ -545,6 +559,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store != nil {
 		fmt.Fprintf(w, "# TYPE behaviot_checkpoints_total counter\nbehaviot_checkpoints_total %d\n", s.checkpointsTotal.Load())
+		fmt.Fprintf(w, "# TYPE behaviot_checkpoint_failures_total counter\nbehaviot_checkpoint_failures_total %d\n", s.ckptFailuresTotal.Load())
 		fmt.Fprintf(w, "# TYPE behaviot_store_generation gauge\nbehaviot_store_generation %d\n", s.storeGen.Load())
 		// Absent until the first checkpoint lands: emitting an age
 		// computed from the zero value would report ~56 years of

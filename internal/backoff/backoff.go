@@ -1,0 +1,110 @@
+// Package backoff is the one retry-pacing policy the whole tree
+// shares: exponential growth from a base delay, a hard cap, and
+// deterministic multiplicative jitter. The fleet shard housekeeper
+// paces checkpoint retries with it, the single-tenant behaviotd
+// checkpoint path reuses the exact same policy, and fleetcat spaces
+// its dial/send reconnect attempts with it — so "how fast do we hammer
+// a struggling disk or daemon" is defined in one place.
+//
+// Jitter is deterministic: the delay is a pure function of (policy,
+// attempt, seed). Callers derive the seed from a stable identity (a
+// tenant ID, a dial address), which decorrelates a fleet of retriers —
+// a thousand tenants degraded by the same ENOSPC do not stampede the
+// disk on the same tick — while keeping every test reproducible.
+package backoff
+
+import (
+	"time"
+)
+
+// Defaults used when a Policy field is zero.
+const (
+	DefaultBase   = 500 * time.Millisecond
+	DefaultMax    = 30 * time.Second
+	DefaultJitter = 0.25
+)
+
+// Policy is an exponential backoff schedule. The zero value is usable
+// and means 500ms base, 30s cap, ±25% jitter.
+type Policy struct {
+	// Base is the nominal first delay (attempt 1).
+	Base time.Duration
+	// Max caps the grown delay before jitter is applied.
+	Max time.Duration
+	// JitterFrac spreads each delay uniformly over
+	// [1-JitterFrac, 1+JitterFrac) times the nominal value. Negative
+	// disables jitter entirely (exact exponential steps, for tests).
+	JitterFrac float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	//lint:ignore floateq exact zero means the jitter knob is unset
+	if p.JitterFrac == 0 {
+		p.JitterFrac = DefaultJitter
+	}
+	if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	}
+	return p
+}
+
+// Delay returns the pause before retry number attempt (1-based: the
+// first retry after the first failure is attempt 1). Growth is
+// Base·2^(attempt-1) capped at Max, then scaled by the deterministic
+// jitter drawn from (seed, attempt). Attempts below 1 are treated as 1.
+func (p Policy) Delay(attempt int, seed uint64) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.Max || d < 0 { // d<0: duration overflow
+			d = p.Max
+			break
+		}
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.JitterFrac > 0 {
+		// splitmix64 over (seed, attempt): uniform in [0,1), cheap, and
+		// stable across runs and platforms.
+		u := float64(splitmix64(seed^uint64(attempt)*0x9E3779B97F4A7C15)>>11) / (1 << 53)
+		d = time.Duration(float64(d) * (1 - p.JitterFrac + 2*p.JitterFrac*u))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Seed derives a stable jitter seed from an identity string (FNV-1a),
+// so retriers named differently pace differently.
+func Seed(id string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return h
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,64 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, JitterFrac: -1}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i+1, 0); got != w {
+			t.Errorf("attempt %d: delay = %v, want %v", i+1, got, w)
+		}
+	}
+	// Deep attempts must not overflow into negative durations.
+	if got := p.Delay(200, 0); got != time.Second {
+		t.Errorf("attempt 200: delay = %v, want the %v cap", got, time.Second)
+	}
+}
+
+func TestDelayJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, JitterFrac: 0.25}
+	seen := map[time.Duration]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		d := p.Delay(1, seed)
+		if d < 750*time.Millisecond || d >= 1250*time.Millisecond {
+			t.Errorf("seed %d: delay %v outside ±25%% of 1s", seed, d)
+		}
+		if d2 := p.Delay(1, seed); d2 != d {
+			t.Errorf("seed %d: delay not deterministic (%v vs %v)", seed, d, d2)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 32 {
+		t.Errorf("only %d distinct delays over 64 seeds; jitter is not spreading retriers", len(seen))
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	d := p.Delay(1, Seed("tenant-a"))
+	lo := time.Duration(float64(DefaultBase) * (1 - DefaultJitter))
+	hi := time.Duration(float64(DefaultBase) * (1 + DefaultJitter))
+	if d < lo || d >= hi {
+		t.Errorf("zero-policy first delay %v outside [%v,%v)", d, lo, hi)
+	}
+	if Seed("tenant-a") == Seed("tenant-b") {
+		t.Error("distinct identities produced the same jitter seed")
+	}
+}
+
+func TestAttemptFloor(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second, JitterFrac: -1}
+	if got := p.Delay(0, 1); got != 10*time.Millisecond {
+		t.Errorf("attempt 0 = %v, want the base delay", got)
+	}
+	if got := p.Delay(-5, 1); got != 10*time.Millisecond {
+		t.Errorf("attempt -5 = %v, want the base delay", got)
+	}
+}

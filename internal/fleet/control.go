@@ -11,23 +11,27 @@ import (
 
 // RegisterHandlers mounts the fleet control plane on a mux:
 //
-//	GET    /tenants              list tenants (id, shard, live counters)
-//	POST   /tenants              add a tenant: {"id": ..., "token": ...}
-//	DELETE /tenants/{id}         drain and remove a tenant
-//	GET    /tenants/{id}/status  one tenant's full status JSON
-//	GET    /tenants/{id}/events  one tenant's recent user events
-//	GET    /metrics              Prometheus text, tenant-labeled series
-//	GET    /feed                 SSE stream of events and deviations
+//	GET    /tenants               list tenants (id, shard, live counters)
+//	POST   /tenants               add a tenant: {"id": ..., "token": ...}
+//	DELETE /tenants/{id}          drain and remove a tenant
+//	GET    /tenants/{id}/status   one tenant's full status JSON
+//	GET    /tenants/{id}/events   one tenant's recent user events
+//	POST   /tenants/{id}/restart  rebuild a tenant from its last checkpoint
+//	GET    /metrics               Prometheus text, tenant-labeled series
+//	GET    /healthz               fleet health rollup (degraded/quarantined)
+//	GET    /feed                  SSE stream of events and deviations
 //
-// Add and Remove take effect live — no restart, no disturbance to
-// other tenants' ingest.
+// Add, Remove, and Restart take effect live — no process restart, no
+// disturbance to other tenants' ingest.
 func (d *Daemon) RegisterHandlers(mux *http.ServeMux) {
 	mux.HandleFunc("GET /tenants", d.handleListTenants)
 	mux.HandleFunc("POST /tenants", d.handleAddTenant)
 	mux.HandleFunc("DELETE /tenants/{id}", d.handleRemoveTenant)
 	mux.HandleFunc("GET /tenants/{id}/status", d.handleTenantStatus)
 	mux.HandleFunc("GET /tenants/{id}/events", d.handleTenantEvents)
+	mux.HandleFunc("POST /tenants/{id}/restart", d.handleRestartTenant)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /feed", d.handleFeed)
 }
 
@@ -112,6 +116,52 @@ func (d *Daemon) handleRemoveTenant(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
 }
 
+// handleRestartTenant rebuilds one tenant from its last durable
+// checkpoint — the operator path out of quarantine. 409 means the
+// crash-loop budget is spent and the tenant needs investigation, not
+// another restart.
+func (d *Daemon) handleRestartTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, err := d.Restart(id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrTenantUnknown):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrCrashLoop), errors.Is(err, ErrTenantBusy):
+			status = http.StatusConflict
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"restarted":  t.ID,
+		"shard":      t.Shard,
+		"health":     t.Health().String(),
+		"generation": t.storeGen.Load(),
+	})
+}
+
+// handleHealthz is the fleet liveness/health rollup: "ok" only when no
+// tenant is degraded or quarantined, so probes and dashboards get one
+// bit before drilling into per-tenant status.
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	degraded, quarantined := d.healthCounts()
+	status := "ok"
+	if degraded > 0 || quarantined > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"tenants":     d.TenantCount(),
+		"shards":      d.cfg.Shards,
+		"degraded":    degraded,
+		"quarantined": quarantined,
+	})
+}
+
 func (d *Daemon) handleTenantStatus(w http.ResponseWriter, r *http.Request) {
 	t := d.Get(r.PathValue("id"))
 	if t == nil {
@@ -149,6 +199,17 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	tenants := d.List()
 	fmt.Fprintf(w, "# TYPE behaviot_fleet_tenants gauge\nbehaviot_fleet_tenants %d\n", len(tenants))
 	fmt.Fprintf(w, "# TYPE behaviot_fleet_shards gauge\nbehaviot_fleet_shards %d\n", d.cfg.Shards)
+	degraded, quarantined := 0, 0
+	for _, t := range tenants {
+		switch t.Health() {
+		case Degraded:
+			degraded++
+		case Quarantined:
+			quarantined++
+		}
+	}
+	fmt.Fprintf(w, "# TYPE behaviot_fleet_degraded gauge\nbehaviot_fleet_degraded %d\n", degraded)
+	fmt.Fprintf(w, "# TYPE behaviot_fleet_quarantined gauge\nbehaviot_fleet_quarantined %d\n", quarantined)
 
 	// Sample every tenant once up front (one shard-lock acquisition
 	// each), then render series grouped by metric name as the
@@ -181,6 +242,10 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"behaviot_tenant_queue_fed_total", func(s sample) int64 { return s.qs.Fed }},
 		{"behaviot_tenant_queue_shed_total", func(s sample) int64 { return s.qs.Shed }},
 		{"behaviot_tenant_queue_backpressure_waits_total", func(s sample) int64 { return s.qs.BackpressureWaits }},
+		{"behaviot_tenant_checkpoints_total", func(s sample) int64 { return s.t.checkpointsTotal.Load() }},
+		{"behaviot_tenant_checkpoint_failures_total", func(s sample) int64 { return s.t.ckptFailuresTotal.Load() }},
+		{"behaviot_tenant_panics_total", func(s sample) int64 { return s.t.panics.Load() }},
+		{"behaviot_tenant_restarts_total", func(s sample) int64 { return s.t.restarts.Load() }},
 	}
 	gauges := []struct {
 		name string
@@ -188,6 +253,23 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}{
 		{"behaviot_tenant_queue_depth", func(s sample) int64 { return int64(s.qs.Depth) }},
 		{"behaviot_tenant_store_generation", func(s sample) int64 { return s.t.storeGen.Load() }},
+		// Health encodes the FSM state numerically (0 healthy, 1
+		// degraded, 2 quarantined) so dashboards can alert on >= 1.
+		{"behaviot_tenant_health", func(s sample) int64 { return int64(s.t.Health()) }},
+		{"behaviot_tenant_checkpoint_age_seconds", func(s sample) int64 {
+			if s.t.store == nil {
+				return 0
+			}
+			return int64(s.t.checkpointAge().Seconds())
+		}},
+		// The ROADMAP's checkpoint-age alarm: 1 when the newest durable
+		// checkpoint is older than the configured threshold.
+		{"behaviot_tenant_checkpoint_age_alarm", func(s sample) int64 {
+			if s.t.checkpointAgeAlarm() {
+				return 1
+			}
+			return 0
+		}},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)

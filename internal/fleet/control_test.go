@@ -233,7 +233,8 @@ func TestControlStatusShape(t *testing.T) {
 		"shard", "packets", "flows", "periodic", "user", "aperiodic",
 		"deviations", "late_dropped", "received_records", "fed_records",
 		"parse_errors", "queue_depth", "queue_fed", "queue_shed", "queue_waits",
-		"store_generation", "checkpoints_total",
+		"store_generation", "checkpoints_total", "checkpoint_failures_total",
+		"panics_total", "restarts_total",
 	} {
 		v, ok := st[key]
 		if !ok {
@@ -246,6 +247,12 @@ func TestControlStatusShape(t *testing.T) {
 	}
 	if got := st["received_records"].(float64); got != 200 {
 		t.Errorf("received_records = %v, want 200", got)
+	}
+	if got := st["health"]; got != "healthy" {
+		t.Errorf("health = %v, want %q", got, "healthy")
+	}
+	if _, ok := st["checkpoint_age_alarm"].(bool); !ok {
+		t.Errorf("checkpoint_age_alarm = %T, want bool", st["checkpoint_age_alarm"])
 	}
 	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/tenants/ghost/status", nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("status of unknown tenant = %d, want 404", resp.StatusCode)
@@ -289,6 +296,11 @@ func TestControlMetricsTenantLabels(t *testing.T) {
 		`behaviot_tenant_queue_fed_total{tenant="home-a"} 100`,
 		`behaviot_tenant_queue_shed_total{tenant="home-a"} 0`,
 		`behaviot_tenant_queue_backpressure_waits_total{tenant="home-a"}`,
+		"behaviot_fleet_degraded 0",
+		"behaviot_fleet_quarantined 0",
+		`behaviot_tenant_checkpoint_failures_total{tenant="home-a"} 0`,
+		`behaviot_tenant_health{tenant="home-a"} 0`,
+		`behaviot_tenant_checkpoint_age_alarm{tenant="home-a"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"behaviot/internal/backoff"
 	"behaviot/internal/core"
+	"behaviot/internal/faultfs"
 	"behaviot/internal/flows"
 	"behaviot/internal/stream"
 )
@@ -52,6 +54,34 @@ type Config struct {
 	// Resume makes newly added tenants restore from their namespaced
 	// store when an intact matching snapshot exists.
 	Resume bool
+	// StoreFS, when set, routes every tenant store's filesystem
+	// operations through it (modelstore.Options.FS) — a
+	// faultfs.Injector in fault soaks. Nil means the real filesystem.
+	StoreFS faultfs.FS
+	// CheckpointBackoff paces checkpoint retries after a failure. The
+	// zero policy means 500ms base, 30s cap, ±25% jitter (seeded per
+	// tenant ID, so a fleet degraded by one full disk does not
+	// stampede it in lockstep).
+	CheckpointBackoff backoff.Policy
+	// CheckpointAgeAlarm is how stale a tenant's newest durable
+	// checkpoint may grow before the checkpoint-age alarm fires on
+	// /metrics and /tenants/{id}/status. Default: 3×CheckpointInterval
+	// (when periodic checkpointing is on).
+	CheckpointAgeAlarm time.Duration
+	// CrashLoopBudget bounds restarts of a panicking tenant: once its
+	// cumulative panic count (carried across restart incarnations)
+	// exceeds the budget, Restart refuses with ErrCrashLoop and the
+	// tenant stays quarantined. Default 3.
+	CrashLoopBudget int
+	// ShedDegradeTicks is how many consecutive housekeeping ticks with
+	// fresh queue shed mark a tenant Degraded. Default 3.
+	ShedDegradeTicks int
+	// PanicProbe, when set, runs inside every tenant's feed boundary
+	// (under the shard lock, before the batch reaches the monitor)
+	// with the tenant's ID. It exists for fault injection: a probe
+	// that panics for one tenant ID detonates exactly the failure the
+	// supervision layer must contain. Nil in production.
+	PanicProbe func(tenantID string)
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +93,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FeedBatch <= 0 {
 		c.FeedBatch = 64
+	}
+	if c.CheckpointAgeAlarm <= 0 && c.CheckpointInterval > 0 {
+		c.CheckpointAgeAlarm = 3 * c.CheckpointInterval
+	}
+	if c.CrashLoopBudget <= 0 {
+		c.CrashLoopBudget = 3
+	}
+	if c.ShedDegradeTicks <= 0 {
+		c.ShedDegradeTicks = 3
 	}
 	return c
 }

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"fmt"
+	"log"
+	"runtime/debug"
+	"time"
+)
+
+// Health is a tenant's supervision state. The FSM:
+//
+//	Healthy ──checkpoint failure / sustained shed──▶ Degraded
+//	Degraded ──checkpoint lands, shed clears──▶ Healthy
+//	any ──panic in feed / checkpoint / ingest──▶ Quarantined
+//	Quarantined ──POST /tenants/{id}/restart──▶ Healthy (new incarnation)
+//
+// Degraded is reversible in place: the shard housekeeper keeps retrying
+// the checkpoint with backoff, and the tenant keeps monitoring.
+// Quarantined is terminal for the incarnation: the tenant's model state
+// may be poisoned by whatever panicked, so it is fenced — ingest
+// rejected, feeds dropped, housekeeping skipped — until an operator
+// restart rebuilds it from its last durable checkpoint.
+type Health int32
+
+const (
+	Healthy Health = iota
+	Degraded
+	Quarantined
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	default:
+		return "unknown"
+	}
+}
+
+// Health returns the tenant's current supervision state.
+func (t *Tenant) Health() Health { return Health(t.health.Load()) }
+
+// setHealth transitions the FSM, logging the transition to the
+// process log and the tenant's event log. Only faulted tenants ever
+// transition, so unaffected tenants' event logs stay byte-identical to
+// reference runs (the isolation oracle depends on this).
+func (t *Tenant) setHealth(to Health, reason string) {
+	from := Health(t.health.Swap(int32(to)))
+	if from == to {
+		return
+	}
+	log.Printf("fleet: tenant %s health %s -> %s (%s)", t.ID, from, to, reason)
+	t.ringMu.Lock()
+	t.appendEventLogLocked(eventLogLine{
+		Type: "health", Time: time.Now().UTC(), Device: t.ID,
+		Label: to.String(), Detail: reason,
+	})
+	t.ringMu.Unlock()
+}
+
+// reevaluateHealth recomputes Healthy/Degraded from the degradation
+// inputs. Quarantine is sticky: only Restart leaves it.
+func (t *Tenant) reevaluateHealth(reason string) {
+	if t.Health() == Quarantined {
+		return
+	}
+	if t.ckptFailures.Load() > 0 || t.shedDegraded.Load() {
+		t.setHealth(Degraded, reason)
+	} else {
+		t.setHealth(Healthy, reason)
+	}
+}
+
+// catchPanic is the deferred guard at every supervision boundary
+// (queue-sink feed, checkpoint/housekeeping, ingest decode). It
+// converts a panic anywhere in one tenant's pipeline into that
+// tenant's quarantine — stack preserved in the tenant's event log —
+// while every neighboring tenant keeps running.
+func (t *Tenant) catchPanic(where string) {
+	if r := recover(); r != nil {
+		t.quarantinePanic(where, r)
+	}
+}
+
+// quarantinePanic records a recovered panic and fences the tenant.
+// Must be called from a deferred recover handler so debug.Stack still
+// sees the panic origin frames.
+func (t *Tenant) quarantinePanic(where string, r any) {
+	t.panics.Add(1)
+	stack := debug.Stack()
+	log.Printf("fleet: tenant %s panic in %s: %v\n%s", t.ID, where, r, stack)
+	t.ringMu.Lock()
+	t.appendEventLogLocked(eventLogLine{
+		Type: "panic", Time: time.Now().UTC(), Device: t.ID,
+		Kind: where, Detail: fmt.Sprintf("%v", r), Label: string(stack),
+	})
+	t.ringMu.Unlock()
+	// Swap directly rather than via setHealth: quarantine must stick
+	// even if a concurrent reevaluateHealth races this transition, and
+	// the panic line above already records the cause.
+	if from := Health(t.health.Swap(int32(Quarantined))); from != Quarantined {
+		log.Printf("fleet: tenant %s health %s -> quarantined (panic in %s)", t.ID, from, where)
+	}
+}
+
+// trackShed runs once per housekeeping tick: a tick that shed packets
+// counts toward degradation, a clean tick resets the streak. Crossing
+// ShedDegradeTicks marks the tenant shed-degraded until a clean tick.
+func (t *Tenant) trackShed() {
+	shed := t.queue.Stats().Shed
+	prev := t.lastShedSeen.Swap(shed)
+	if shed > prev {
+		if t.shedTicks.Add(1) >= int64(t.d.cfg.ShedDegradeTicks) {
+			t.shedDegraded.Store(true)
+			t.reevaluateHealth("sustained queue shed")
+		}
+		return
+	}
+	t.shedTicks.Store(0)
+	if t.shedDegraded.Swap(false) {
+		t.reevaluateHealth("queue shed cleared")
+	}
+}
+
+// checkpointAge is how long ago the last durable checkpoint landed,
+// measured from tenant start when none has.
+func (t *Tenant) checkpointAge() time.Duration {
+	last := t.lastCkptUnix.Load()
+	if last == 0 {
+		last = t.startUnix
+	}
+	return time.Since(time.Unix(0, last))
+}
+
+// checkpointAgeAlarm reports whether the tenant has gone longer than
+// the configured alarm threshold without a durable checkpoint — the
+// ROADMAP's checkpoint-age alarm. Only meaningful for stores with
+// periodic checkpointing enabled.
+func (t *Tenant) checkpointAgeAlarm() bool {
+	return t.store != nil && t.d.cfg.CheckpointAgeAlarm > 0 &&
+		t.d.cfg.CheckpointInterval > 0 &&
+		t.checkpointAge() > t.d.cfg.CheckpointAgeAlarm
+}
+
+// healthCounts tallies the fleet's degraded and quarantined tenants
+// (the /healthz and /metrics rollups).
+func (d *Daemon) healthCounts() (degraded, quarantined int) {
+	for _, t := range d.List() {
+		switch t.Health() {
+		case Degraded:
+			degraded++
+		case Quarantined:
+			quarantined++
+		}
+	}
+	return
+}

@@ -10,6 +10,34 @@ import (
 	"time"
 )
 
+// RefusedError is a server-side "ERR <reason>" refusal, surfaced as a
+// typed error so clients can tell a permanent rejection (bad
+// credentials — no retry will ever heal it) from a transient one (the
+// tenant is quarantined until an operator restart; the tenant was
+// removed). Reason is the server's wire text after "ERR ".
+type RefusedError struct {
+	Reason string
+}
+
+func (e *RefusedError) Error() string {
+	return "listener: server refused: " + e.Reason
+}
+
+// AuthFailure reports whether the refusal is an authentication or
+// protocol rejection that retrying with the same inputs cannot fix.
+func (e *RefusedError) AuthFailure() bool {
+	return e.Reason == "unauthorized" || e.Reason == "bad hello"
+}
+
+// asRefusal converts a server response line to a RefusedError when it
+// is an explicit refusal, or nil when it is not.
+func asRefusal(resp string) *RefusedError {
+	if reason, ok := strings.CutPrefix(resp, "ERR "); ok {
+		return &RefusedError{Reason: reason}
+	}
+	return nil
+}
+
 // Sender is the client half of the ingest protocol: one authenticated
 // connection streaming records for one tenant. It is what behaviotd's
 // fleet-soak harness and any external capture relay use.
@@ -47,6 +75,9 @@ func Dial(network, addr, tenantID, token string) (*Sender, error) {
 	}
 	if resp != "OK" {
 		conn.Close() //lint:ignore errcheck server refused the hello; its reason is what gets reported
+		if re := asRefusal(resp); re != nil {
+			return nil, re
+		}
 		return nil, fmt.Errorf("listener: server refused hello: %s", resp)
 	}
 	return s, nil
@@ -93,6 +124,9 @@ func (s *Sender) Close() (consumed int64, err error) {
 	}
 	rest, ok := strings.CutPrefix(resp, "OK ")
 	if !ok {
+		if re := asRefusal(resp); re != nil {
+			return 0, re
+		}
 		return 0, fmt.Errorf("listener: server reported: %s", resp)
 	}
 	consumed, err = strconv.ParseInt(rest, 10, 64)

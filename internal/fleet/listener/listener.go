@@ -233,8 +233,15 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		if err := t.IngestRecord(time.Unix(0, nanos), data, buf); err != nil {
 			// IngestRecord consumed the buffer on every path, including
-			// this one (tenant removed mid-stream).
-			writeLine(c, "ERR tenant closed")
+			// these (tenant removed or quarantined mid-stream). The two
+			// reasons are distinct on the wire: "closed" means the tenant
+			// is gone, "quarantined" means an operator restart will bring
+			// it back and the source should reconnect later.
+			if errors.Is(err, fleet.ErrTenantQuarantined) {
+				writeLine(c, "ERR tenant quarantined")
+			} else {
+				writeLine(c, "ERR tenant closed")
+			}
 			return
 		}
 		consumed++

@@ -1,6 +1,7 @@
 package listener
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"path/filepath"
@@ -161,11 +162,20 @@ func TestAuthRejection(t *testing.T) {
 	defer srv.Close() //lint:ignore errcheck double Close is a no-op; deferred for cleanup only
 	addr := serveUnix(t, srv)
 
+	// The refusal is typed, and classified as an auth failure — the
+	// signal fleetcat uses to exit 3 instead of burning retries.
+	var re *RefusedError
 	if _, err := Dial("unix", addr, "home-1", "wrong-token"); err == nil {
 		t.Error("Dial with a wrong token succeeded")
+	} else if !errors.As(err, &re) {
+		t.Errorf("wrong-token error = %T (%v), want *RefusedError", err, err)
+	} else if !re.AuthFailure() {
+		t.Errorf("wrong-token refusal %q not classified as auth failure", re.Reason)
 	}
 	if _, err := Dial("unix", addr, "ghost", "right-token"); err == nil {
 		t.Error("Dial for an unknown tenant succeeded")
+	} else if !errors.As(err, &re) || !re.AuthFailure() {
+		t.Errorf("unknown-tenant error = %v, want auth-failure RefusedError", err)
 	}
 
 	// Raw malformed hello.

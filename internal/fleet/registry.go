@@ -19,6 +19,8 @@ var (
 	ErrUnauthorized   = errors.New("fleet: bad tenant credentials")
 	ErrBadTenantID    = errors.New("fleet: invalid tenant id")
 	ErrTokenRequired  = errors.New("fleet: ingest token must not be empty")
+	ErrCrashLoop      = errors.New("fleet: tenant exceeded crash-loop budget")
+	ErrTenantBusy     = errors.New("fleet: tenant busy")
 	errTokenHasSpace  = errors.New("fleet: ingest token must not contain spaces or newlines")
 	errTenantFileForm = errors.New("fleet: tenants file line is not `id,token`")
 )
@@ -64,7 +66,7 @@ func (d *Daemon) Add(id, token string) (*Tenant, error) {
 	// Authenticate/Get on the ingest path. The reservation makes the
 	// ID — and its store and event-log paths — exclusively ours.
 	shardIdx := d.ring.Lookup(id)
-	t, err := d.newTenant(id, token, shardIdx)
+	t, err := d.newTenant(id, token, shardIdx, d.cfg.Resume)
 
 	d.mu.Lock()
 	delete(d.pending, id)
@@ -110,6 +112,69 @@ func (d *Daemon) Remove(id string) error {
 	delete(d.pending, id)
 	d.mu.Unlock()
 	return nil
+}
+
+// Restart tears the tenant down and rebuilds it from its last durable
+// checkpoint — the recovery path for quarantined tenants (and a
+// harmless state reload for healthy ones). The old incarnation is
+// drained and closed first: quarantined tenants skip finalization (no
+// checkpoint over possibly-poisoned state), healthy ones land a final
+// checkpoint, so either way the rebuilt tenant resumes from the newest
+// durable generation. The cumulative panic count carries across
+// incarnations; once it exceeds the crash-loop budget, Restart refuses
+// with ErrCrashLoop and the tenant stays quarantined — an operator
+// problem, not a restart-until-the-heat-death loop.
+func (d *Daemon) Restart(id string) (*Tenant, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	old, ok := d.tenants[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrTenantUnknown, id)
+	}
+	if _, busy := d.pending[id]; busy {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrTenantBusy, id)
+	}
+	if old.panics.Load() > int64(d.cfg.CrashLoopBudget) {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q (%d panics, budget %d)",
+			ErrCrashLoop, id, old.panics.Load(), d.cfg.CrashLoopBudget)
+	}
+	// Hold the ID reserved while the old incarnation drains and the
+	// new one is built: ingest and a concurrent Add both stay out.
+	delete(d.tenants, id)
+	d.pending[id] = struct{}{}
+	d.mu.Unlock()
+
+	old.close()
+
+	t, err := d.newTenant(id, old.token, old.Shard, true)
+	if err == nil {
+		// Carry supervision history into the new incarnation: the
+		// crash-loop budget is about the tenant, not the process object.
+		t.panics.Store(old.panics.Load())
+		t.ckptFailuresTotal.Store(old.ckptFailuresTotal.Load())
+		t.restarts.Store(old.restarts.Load() + 1)
+	}
+
+	d.mu.Lock()
+	delete(d.pending, id)
+	if err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	if d.closed {
+		d.mu.Unlock()
+		t.discard()
+		return nil, ErrClosed
+	}
+	d.tenants[id] = t
+	d.mu.Unlock()
+	return t, nil
 }
 
 // Get returns a tenant by ID, or nil.

@@ -30,20 +30,35 @@ func newShard(index int, d *Daemon) *shard {
 	return sh
 }
 
-// housekeep checkpoints the shard's tenants on the configured
-// interval. Tenants are walked in sorted-ID order so checkpoint disk
+// housekeep checkpoints the shard's tenants on the configured interval
+// and paces per-tenant checkpoint retries. Instead of a fixed ticker
+// it runs a timer that wakes at whichever comes first: the next
+// interval tick (checkpoint everything) or the earliest backoff-paced
+// retry among the shard's degraded tenants (checkpoint just those now
+// due). Tenants are walked in sorted-ID order so checkpoint disk
 // traffic is evenly phased rather than hash-ordered bursts; tenants
-// added or removed mid-tick are naturally picked up next tick.
+// added or removed mid-tick are naturally picked up next wake.
+// Quarantined tenants are skipped entirely — their state is fenced
+// until Restart. Shed tracking (Degraded on sustained queue shed)
+// rides the interval ticks.
 func (sh *shard) housekeep(d *Daemon) {
 	defer sh.wg.Done()
-	tick := time.NewTicker(d.cfg.CheckpointInterval)
-	defer tick.Stop()
+	interval := d.cfg.CheckpointInterval
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	nextTick := time.Now().Add(interval)
 	for {
 		select {
 		case <-sh.done:
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
+		now := time.Now()
+		tickDue := !now.Before(nextTick)
+		if tickDue {
+			nextTick = now.Add(interval)
+		}
+
 		d.mu.RLock()
 		var mine []*Tenant
 		for _, t := range d.tenants {
@@ -53,16 +68,48 @@ func (sh *shard) housekeep(d *Daemon) {
 		}
 		d.mu.RUnlock()
 		sort.Slice(mine, func(i, j int) bool { return mine[i].ID < mine[j].ID })
+
 		for _, t := range mine {
 			select {
 			case <-sh.done:
 				return
 			default:
 			}
-			if !t.closed.Load() {
+			if t.closed.Load() || t.Health() == Quarantined {
+				continue
+			}
+			if tickDue {
+				t.trackShed()
+			}
+			due := tickDue
+			if retryAt := t.ckptRetryAtUnix.Load(); retryAt > 0 && now.UnixNano() >= retryAt {
+				due = true
+			}
+			if due {
 				t.checkpoint()
 			}
 		}
+
+		// Wake at the earlier of the next interval tick and the
+		// earliest pending retry (floored so a retry landing "now"
+		// cannot spin the loop).
+		wake := nextTick
+		for _, t := range mine {
+			if t.closed.Load() || t.Health() == Quarantined {
+				continue
+			}
+			if retryAt := t.ckptRetryAtUnix.Load(); retryAt > 0 {
+				at := time.Unix(0, retryAt)
+				if at.Before(wake) {
+					wake = at
+				}
+			}
+		}
+		sleep := time.Until(wake)
+		if sleep < 10*time.Millisecond {
+			sleep = 10 * time.Millisecond
+		}
+		timer.Reset(sleep)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"log"
 	"time"
 
+	"behaviot/internal/backoff"
 	"behaviot/internal/core"
 	"behaviot/internal/modelstore"
 	"behaviot/internal/snapio"
@@ -22,14 +23,20 @@ const tenantSnapVersion = 1
 // cursor to keep exact — fleet sources are live sockets that reconnect
 // and continue, so an interval checkpoint is crash insurance, and only
 // the final post-drain checkpoint is the deterministic artifact the
-// isolation oracle compares. Failures are logged, not fatal: a full
-// disk must not kill monitoring.
+// isolation oracle compares. Failures are never fatal — a full disk
+// must not kill monitoring — but they are no longer silent either:
+// each failure bumps the consecutive-failure streak and the cumulative
+// counter, degrades the tenant, and schedules a backoff-paced retry
+// that the shard housekeeper picks up; the first success clears the
+// streak and restores health. Checkpointing is also a supervision
+// boundary: a panic while marshaling quarantines the tenant.
 func (t *Tenant) checkpoint() {
 	if t.store == nil {
 		return
 	}
 	t.ckptMu.Lock()
 	defer t.ckptMu.Unlock()
+	defer t.catchPanic("checkpoint")
 	t.queue.Flush()
 	t.shardMu.Lock()
 	pipeSnap := core.MarshalPipeline(t.pipe)
@@ -42,12 +49,21 @@ func (t *Tenant) checkpoint() {
 		modelstore.FileTenant:   state,
 	})
 	if err != nil {
-		log.Printf("fleet: tenant %s checkpoint failed: %v", t.ID, err)
+		failures := t.ckptFailures.Add(1)
+		t.ckptFailuresTotal.Add(1)
+		delay := t.d.cfg.CheckpointBackoff.Delay(int(failures), backoff.Seed(t.ID))
+		t.ckptRetryAtUnix.Store(time.Now().Add(delay).UnixNano())
+		log.Printf("fleet: tenant %s checkpoint failed (attempt %d, retry in %v): %v",
+			t.ID, failures, delay.Round(time.Millisecond), err)
+		t.reevaluateHealth("checkpoint failure")
 		return
 	}
+	t.ckptFailures.Store(0)
+	t.ckptRetryAtUnix.Store(0)
 	t.storeGen.Store(int64(gen))
 	t.lastCkptUnix.Store(time.Now().UnixNano())
 	t.checkpointsTotal.Add(1)
+	t.reevaluateHealth("checkpoint landed")
 }
 
 // marshalState serializes everything outside the monitor that a
@@ -152,9 +168,10 @@ func (t *Tenant) restoreState(data []byte) error {
 // newest intact generation matching the fleet fingerprint, rebuild the
 // pipeline from snapshot bytes, and restore streaming + tenant state.
 // Any failure falls back to a fresh pipeline copy — resume is an
-// optimization, never a correctness requirement.
+// optimization, never a correctness requirement. Callers gate on the
+// resume decision (fleet-wide Resume for Add, always for Restart).
 func (t *Tenant) tryRestore(scfg stream.Config) bool {
-	if t.store == nil || !t.d.cfg.Resume {
+	if t.store == nil {
 		return false
 	}
 	snap, err := t.store.Load(t.fingerprint)

@@ -82,7 +82,7 @@ func TestFleetSoakIsolationOracle(t *testing.T) {
 	for _, shards := range shardCounts {
 		shards := shards
 		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
-			dir := t.TempDir()
+			dir := soakDir(t)
 			cfg := baseConfig(t, fx, shards, dir)
 			d, err := New(cfg)
 			if err != nil {

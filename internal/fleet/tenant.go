@@ -34,6 +34,12 @@ var parseClasses = [...]string{
 // removed: ingest sources should stop sending and disconnect.
 var ErrTenantClosed = errors.New("fleet: tenant closed")
 
+// ErrTenantQuarantined is returned by IngestRecord while a tenant is
+// fenced after a panic: sources should disconnect and an operator
+// should POST /tenants/{id}/restart. Distinct from ErrTenantClosed so
+// the listener can tell sources which situation they hit.
+var ErrTenantQuarantined = errors.New("fleet: tenant quarantined")
+
 // Tenant is one home's complete monitoring deployment: a private
 // pipeline copy, online monitor, bounded feed queue, recent-event
 // rings, JSONL event log, and a checkpoint store namespaced under the
@@ -88,24 +94,43 @@ type Tenant struct {
 	lastCkptUnix     atomic.Int64
 	checkpointsTotal atomic.Int64
 
+	// Supervision state (see health.go). ckptFailures is the
+	// consecutive-failure streak pacing the retry backoff;
+	// ckptFailuresTotal is the cumulative counter /metrics exports.
+	// panics carries across restart incarnations (the crash-loop
+	// budget's accounting). startUnix anchors the checkpoint-age alarm
+	// before any checkpoint has landed.
+	health            atomic.Int32
+	ckptFailures      atomic.Int64
+	ckptFailuresTotal atomic.Int64
+	ckptRetryAtUnix   atomic.Int64
+	panics            atomic.Int64
+	restarts          atomic.Int64
+	shedDegraded      atomic.Bool
+	shedTicks         atomic.Int64
+	lastShedSeen      atomic.Int64
+	startUnix         int64
+
 	closed atomic.Bool
 }
 
 // newTenant builds a tenant on its assigned shard. The pipeline is a
 // private copy unmarshaled from the fleet's trained snapshot (or
 // restored from the tenant's own store when resuming), so no model
-// state is shared between tenants.
-func (d *Daemon) newTenant(id, token string, shardIdx int) (*Tenant, error) {
+// state is shared between tenants. resume overrides the fleet-wide
+// Resume default — Restart always resumes, whatever the config says.
+func (d *Daemon) newTenant(id, token string, shardIdx int, resume bool) (*Tenant, error) {
 	t := &Tenant{
-		ID:      id,
-		Shard:   shardIdx,
-		token:   token,
-		d:       d,
-		shardMu: &d.shards[shardIdx].mu,
+		ID:        id,
+		Shard:     shardIdx,
+		token:     token,
+		d:         d,
+		shardMu:   &d.shards[shardIdx].mu,
+		startUnix: time.Now().UnixNano(),
 	}
 
 	if d.cfg.StoreRoot != "" {
-		store, err := modelstore.OpenTenant(d.cfg.StoreRoot, id, modelstore.Options{})
+		store, err := modelstore.OpenTenant(d.cfg.StoreRoot, id, modelstore.Options{FS: d.cfg.StoreFS})
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +145,7 @@ func (d *Daemon) newTenant(id, token string, shardIdx int) (*Tenant, error) {
 	scfg.OnEvent = func(e stream.Event) { t.record(&e, nil) }
 	scfg.OnDeviation = func(dv stream.Deviation) { t.record(nil, &dv) }
 
-	if !t.tryRestore(scfg) {
+	if !resume || !t.tryRestore(scfg) {
 		pipe, err := core.UnmarshalPipeline(d.cfg.PipeSnap)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: tenant %s: pipeline snapshot: %w", id, err)
@@ -137,21 +162,42 @@ func (d *Daemon) newTenant(id, token string, shardIdx int) (*Tenant, error) {
 
 	// The queue sink is the tenant's recycle point: feed the batch to
 	// the monitor under the shard lock, then return pooled packets (and
-	// their wire buffers) to the pools.
-	t.queue = stream.NewBatchQueue(d.cfg.QueueLen, d.cfg.FeedBatch, func(ps []*netparse.Packet) {
-		t.shardMu.Lock()
-		for _, p := range ps {
-			t.monitor.Feed(p)
-		}
-		t.shardMu.Unlock()
+	// their wire buffers) to the pools. feedBatch is a supervision
+	// boundary: a panic inside the monitor quarantines this tenant and
+	// recycles the batch; neighbors on the same shard keep feeding.
+	t.queue = stream.NewBatchQueue(d.cfg.QueueLen, d.cfg.FeedBatch, t.feedBatch)
+	return t, nil
+}
+
+// feedBatch is the queue sink. The recycle of every packet (and its
+// wire buffer) is unconditional — deferred before anything that can
+// fault — so pool invariants survive a tenant panic (poolcheck R1:
+// balanced on every path). Quarantined tenants drop their batches
+// without touching the monitor: the state may be poisoned, and queue
+// drains during abort must not re-enter it.
+func (t *Tenant) feedBatch(ps []*netparse.Packet) {
+	defer func() {
 		for _, p := range ps {
 			// PutBuf tolerates nil, so the detach-release pair stays
-			// unconditional (poolcheck R1: balanced on every path).
+			// unconditional.
 			pcapio.PutBuf(p.DetachWire())
 			netparse.PutPacket(p)
 		}
-	})
-	return t, nil
+	}()
+	if t.Health() == Quarantined {
+		return
+	}
+	func() {
+		defer t.catchPanic("feed")
+		t.shardMu.Lock()
+		defer t.shardMu.Unlock()
+		if probe := t.d.cfg.PanicProbe; probe != nil {
+			probe(t.ID)
+		}
+		for _, p := range ps {
+			t.monitor.Feed(p)
+		}
+	}()
 }
 
 // IngestRecord decodes one wire record into a pooled packet and feeds
@@ -161,15 +207,30 @@ func (d *Daemon) newTenant(id, token string, shardIdx int) (*Tenant, error) {
 // never fatal. buf, when non-nil, is the pooled record buffer backing
 // data; it travels with the packet to the queue sink (the recycle
 // point) or is recycled here when decode fails.
-func (t *Tenant) IngestRecord(ts time.Time, data []byte, buf *[]byte) error {
+func (t *Tenant) IngestRecord(ts time.Time, data []byte, buf *[]byte) (err error) {
 	if t.closed.Load() {
 		pcapio.PutBuf(buf)
 		return ErrTenantClosed
 	}
+	if t.Health() == Quarantined {
+		pcapio.PutBuf(buf)
+		return ErrTenantQuarantined
+	}
+	// Ingest is a supervision boundary: a decode/queue panic must
+	// quarantine this tenant, not unwind into the listener and kill
+	// every connection. The packet mid-flight when a panic fires is
+	// abandoned to the GC — pools are caches, not ledgers, and a
+	// quarantine is rare enough that one lost buffer is irrelevant.
+	defer func() {
+		if r := recover(); r != nil {
+			t.quarantinePanic("ingest", r)
+			err = ErrTenantQuarantined
+		}
+	}()
 	t.received.Add(1)
 	p := netparse.GetPacket()
-	if err := netparse.DecodeInto(p, data); err != nil {
-		t.countParseError(err)
+	if derr := netparse.DecodeInto(p, data); derr != nil {
+		t.countParseError(derr)
 		netparse.PutPacket(p)
 		pcapio.PutBuf(buf)
 		return nil
@@ -303,6 +364,9 @@ func (t *Tenant) Status() map[string]any {
 	body := map[string]any{
 		"tenant":           t.ID,
 		"shard":            t.Shard,
+		"health":           t.Health().String(),
+		"panics_total":     t.panics.Load(),
+		"restarts_total":   t.restarts.Load(),
 		"stream_time":      st.StreamTime,
 		"packets":          st.Packets,
 		"flows":            st.Flows,
@@ -332,6 +396,8 @@ func (t *Tenant) Status() map[string]any {
 	if t.store != nil {
 		body["store_generation"] = t.storeGen.Load()
 		body["checkpoints_total"] = t.checkpointsTotal.Load()
+		body["checkpoint_failures_total"] = t.ckptFailuresTotal.Load()
+		body["checkpoint_age_alarm"] = t.checkpointAgeAlarm()
 		if last := t.lastCkptUnix.Load(); last > 0 {
 			body["last_checkpoint_age_seconds"] = time.Since(time.Unix(0, last)).Seconds()
 		}
@@ -373,7 +439,11 @@ func (t *Tenant) discard() {
 
 // close drains and finalizes the tenant: no new ingest, queue drained
 // into the monitor, a final checkpoint landed, the event log closed.
-// Idempotent; called by Remove and Daemon.Close.
+// Quarantined tenants skip finalization entirely — their monitor state
+// may be poisoned by whatever panicked, and their last durable
+// checkpoint is the state worth keeping (queue drains still recycle
+// through feedBatch, which drops batches while quarantined).
+// Idempotent; called by Remove, Restart, and Daemon.Close.
 func (t *Tenant) close() {
 	if t.closed.Swap(true) {
 		return
@@ -382,12 +452,21 @@ func (t *Tenant) close() {
 	// before it returns. Producers racing the close have their packets
 	// counted as shed and recycled by the queue itself.
 	t.queue.Close()
-	// Flush trailing flows through classification (same finalization
-	// the single-tenant daemon performs before its final checkpoint).
-	t.shardMu.Lock()
-	t.monitor.Close()
-	t.shardMu.Unlock()
-	t.checkpoint()
+	if t.Health() != Quarantined {
+		// Flush trailing flows through classification (same finalization
+		// the single-tenant daemon performs before its final checkpoint).
+		// This is a supervision boundary too: a panic here quarantines
+		// the tenant and skips its final checkpoint.
+		func() {
+			defer t.catchPanic("finalize")
+			t.shardMu.Lock()
+			defer t.shardMu.Unlock()
+			t.monitor.Close()
+		}()
+	}
+	if t.Health() != Quarantined {
+		t.checkpoint()
+	}
 	t.ringMu.Lock()
 	if t.eventLog != nil {
 		if err := t.eventLog.Close(); err != nil {

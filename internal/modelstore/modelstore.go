@@ -21,6 +21,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"behaviot/internal/faultfs"
 )
 
 // FormatVersion guards the store layout (directory structure + manifest
@@ -39,6 +41,23 @@ const (
 
 // ErrNoSnapshot is returned by Load when no intact generation matches.
 var ErrNoSnapshot = errors.New("modelstore: no intact snapshot")
+
+// WriteError is the typed failure Write returns: which store operation
+// failed, on what path, and why. It unwraps to the underlying cause,
+// so errors.Is(err, syscall.ENOSPC) and errors.Is(err,
+// faultfs.ErrInjected) both work through it. Callers pacing checkpoint
+// retries branch on this type rather than parsing messages.
+type WriteError struct {
+	Op   string // "mkdir", "stage", "manifest", "sync-dir", "rename", "list"
+	Path string
+	Err  error
+}
+
+func (e *WriteError) Error() string {
+	return "modelstore: " + e.Op + " " + e.Path + ": " + e.Err.Error()
+}
+
+func (e *WriteError) Unwrap() error { return e.Err }
 
 // castagnoli is the CRC32C table (same polynomial as iSCSI/ext4 metadata
 // checksums; better error detection than IEEE for short bursts).
@@ -79,6 +98,9 @@ type Options struct {
 	// seconds). Left nil the stamp is omitted, keeping snapshot
 	// directories byte-deterministic for tests.
 	Now func() int64
+	// FS, if set, routes every filesystem operation through it (a
+	// faultfs.Injector in fault soaks). Nil means the real filesystem.
+	FS faultfs.FS
 }
 
 // Store is a generation-versioned snapshot directory. Methods are not
@@ -87,6 +109,7 @@ type Store struct {
 	dir    string
 	retain int
 	now    func() int64
+	fs     faultfs.FS
 
 	// beforeFile, when non-nil, runs before each staged file write with
 	// the file's name — the kill-mid-write test hook.
@@ -105,10 +128,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.Retain <= 0 {
 		opts.Retain = 3
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("modelstore: %w", err)
 	}
-	return &Store{dir: dir, retain: opts.Retain, now: opts.Now}, nil
+	return &Store{dir: dir, retain: opts.Retain, now: opts.Now, fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
@@ -116,7 +143,7 @@ func (s *Store) Dir() string { return s.dir }
 
 // generations lists the store's gen-N directories, ascending.
 func (s *Store) generations() ([]int, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +188,7 @@ func (s *Store) Latest() (int, error) {
 func (s *Store) Write(fingerprint string, files map[string][]byte) (int, error) {
 	latest, err := s.Latest()
 	if err != nil {
-		return 0, fmt.Errorf("modelstore: %w", err)
+		return 0, &WriteError{Op: "list", Path: s.dir, Err: err}
 	}
 	gen := latest + 1
 
@@ -179,16 +206,16 @@ func (s *Store) Write(fingerprint string, files map[string][]byte) (int, error) 
 	sort.Strings(names)
 
 	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%s%06d", tmpPrefix, genPrefix, gen))
-	if err := os.RemoveAll(tmp); err != nil {
-		return 0, fmt.Errorf("modelstore: %w", err)
+	if err := s.fs.RemoveAll(tmp); err != nil {
+		return 0, &WriteError{Op: "stage", Path: tmp, Err: err}
 	}
-	if err := os.Mkdir(tmp, 0o755); err != nil {
-		return 0, fmt.Errorf("modelstore: %w", err)
+	if err := s.fs.Mkdir(tmp, 0o755); err != nil {
+		return 0, &WriteError{Op: "mkdir", Path: tmp, Err: err}
 	}
 	cleanup := true
 	defer func() {
 		if cleanup {
-			os.RemoveAll(tmp) //lint:ignore errcheck best-effort cleanup after a failed write; a stale staging dir is removed on the next attempt
+			s.fs.RemoveAll(tmp) //lint:ignore errcheck best-effort cleanup after a failed write; a stale staging dir is removed on the next attempt
 		}
 	}()
 
@@ -197,8 +224,9 @@ func (s *Store) Write(fingerprint string, files map[string][]byte) (int, error) 
 		if s.beforeFile != nil {
 			s.beforeFile(name)
 		}
-		if err := writeFileSync(filepath.Join(tmp, name), data); err != nil {
-			return 0, fmt.Errorf("modelstore: %w", err)
+		path := filepath.Join(tmp, name)
+		if err := s.writeFileSync(path, data); err != nil {
+			return 0, &WriteError{Op: "stage", Path: path, Err: err}
 		}
 		m.Files = append(m.Files, fileEntry{
 			Name:   name,
@@ -213,18 +241,19 @@ func (s *Store) Write(fingerprint string, files map[string][]byte) (int, error) 
 	if s.beforeFile != nil {
 		s.beforeFile(manifestName)
 	}
-	if err := writeFileSync(filepath.Join(tmp, manifestName), append(mdata, '\n')); err != nil {
-		return 0, fmt.Errorf("modelstore: %w", err)
+	mpath := filepath.Join(tmp, manifestName)
+	if err := s.writeFileSync(mpath, append(mdata, '\n')); err != nil {
+		return 0, &WriteError{Op: "manifest", Path: mpath, Err: err}
 	}
-	if err := syncDir(tmp); err != nil {
-		return 0, fmt.Errorf("modelstore: %w", err)
+	if err := s.syncDir(tmp); err != nil {
+		return 0, &WriteError{Op: "sync-dir", Path: tmp, Err: err}
 	}
-	if err := os.Rename(tmp, s.genPath(gen)); err != nil {
-		return 0, fmt.Errorf("modelstore: %w", err)
+	if err := s.fs.Rename(tmp, s.genPath(gen)); err != nil {
+		return 0, &WriteError{Op: "rename", Path: s.genPath(gen), Err: err}
 	}
 	cleanup = false
-	if err := syncDir(s.dir); err != nil {
-		return 0, fmt.Errorf("modelstore: %w", err)
+	if err := s.syncDir(s.dir); err != nil {
+		return 0, &WriteError{Op: "sync-dir", Path: s.dir, Err: err}
 	}
 	s.prune(gen)
 	return gen, nil
@@ -256,7 +285,7 @@ func (s *Store) Load(fp string) (*Snapshot, error) {
 // loadGeneration reads and fully verifies one generation.
 func (s *Store) loadGeneration(gen int) (*Snapshot, error) {
 	dir := s.genPath(gen)
-	mdata, err := os.ReadFile(filepath.Join(dir, manifestName))
+	mdata, err := s.fs.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +301,7 @@ func (s *Store) loadGeneration(gen int) (*Snapshot, error) {
 		if fe.Name != filepath.Base(fe.Name) {
 			return nil, fmt.Errorf("manifest names non-local file %q", fe.Name)
 		}
-		data, err := os.ReadFile(filepath.Join(dir, fe.Name))
+		data, err := s.fs.ReadFile(filepath.Join(dir, fe.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -293,7 +322,7 @@ func (s *Store) loadGeneration(gen int) (*Snapshot, error) {
 // are deliberately swallowed: a failed cleanup must not fail a
 // checkpoint.
 func (s *Store) prune(newest int) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
@@ -301,7 +330,7 @@ func (s *Store) prune(newest int) {
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasPrefix(name, tmpPrefix) {
-			os.RemoveAll(filepath.Join(s.dir, name)) //lint:ignore errcheck pruning is best-effort; a leftover dir is retried on the next write
+			s.fs.RemoveAll(filepath.Join(s.dir, name)) //lint:ignore errcheck pruning is best-effort; a leftover dir is retried on the next write
 			continue
 		}
 		if !e.IsDir() || !strings.HasPrefix(name, genPrefix) {
@@ -315,15 +344,33 @@ func (s *Store) prune(newest int) {
 	}
 	sort.Ints(gens)
 	for len(gens) > s.retain {
-		os.RemoveAll(s.genPath(gens[0])) //lint:ignore errcheck pruning is best-effort; a leftover dir is retried on the next write
+		s.fs.RemoveAll(s.genPath(gens[0])) //lint:ignore errcheck pruning is best-effort; a leftover dir is retried on the next write
 		gens = gens[1:]
 	}
 }
 
+// Verify walks every generation's manifest and checksums and returns
+// the intact generation numbers, ascending. It is the soak oracle for
+// "no lost generations": after a faulted-then-retried checkpoint, the
+// newest pre-fault generation must still appear here.
+func (s *Store) Verify() ([]int, error) {
+	gens, err := s.generations()
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	var intact []int
+	for _, g := range gens {
+		if _, err := s.loadGeneration(g); err == nil {
+			intact = append(intact, g)
+		}
+	}
+	return intact, nil
+}
+
 // writeFileSync writes data and fsyncs before closing, so the bytes are
 // durable before the directory rename can make them visible.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+func (s *Store) writeFileSync(path string, data []byte) error {
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -342,8 +389,8 @@ func writeFileSync(path string, data []byte) error {
 // Filesystems that refuse directory fsync (some CI overlays) are
 // tolerated: the rename protocol still gives atomicity, just weaker
 // durability.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func (s *Store) syncDir(dir string) error {
+	d, err := s.fs.Open(dir)
 	if err != nil {
 		return err
 	}
