@@ -146,14 +146,22 @@ func (d *Daemon) handleRestartTenant(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is the fleet liveness/health rollup: "ok" only when no
 // tenant is degraded or quarantined, so probes and dashboards get one
-// bit before drilling into per-tenant status.
+// bit before drilling into per-tenant status. The status code carries
+// the same bit for probes that never parse the body: 503 while any
+// tenant is quarantined (monitoring lost until an operator restart),
+// 200 otherwise — degraded tenants keep monitoring while checkpoint
+// retries back off, so they do not fail the probe.
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	degraded, quarantined := d.healthCounts()
 	status := "ok"
 	if degraded > 0 || quarantined > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	code := http.StatusOK
+	if quarantined > 0 {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
 		"status":      status,
 		"tenants":     d.TenantCount(),
 		"shards":      d.cfg.Shards,

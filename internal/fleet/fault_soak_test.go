@@ -162,9 +162,11 @@ func TestFaultSoakPanicIsolation(t *testing.T) {
 	if deg, q := d.healthCounts(); q != 1 {
 		t.Errorf("healthCounts = (%d degraded, %d quarantined), want exactly 1 quarantined", deg, q)
 	}
+	// A quarantined tenant fails the probe at the status-code level too:
+	// 503, so monitors keying on the code alone see the outage.
 	resp, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
-	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"quarantined": 1`)) {
-		t.Errorf("/healthz = %d %s, want quarantined: 1", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(body, []byte(`"quarantined": 1`)) {
+		t.Errorf("/healthz = %d %s, want 503 with quarantined: 1", resp.StatusCode, body)
 	}
 
 	// Recovery: POST /tenants/{id}/restart rebuilds the victim from its
@@ -394,5 +396,180 @@ func TestFaultSoakCheckpointRetry(t *testing.T) {
 		t.Errorf("victim store unloadable after fault cycle: %v", err)
 	} else if snap.Generation < int(preFault) {
 		t.Errorf("newest intact generation %d older than pre-fault %d", snap.Generation, preFault)
+	}
+}
+
+// TestCheckpointPanicReleasesShardLock pins the checkpoint supervision
+// boundary's lock discipline: a panic while marshaling (here, a
+// poisoned monitor) must quarantine the tenant AND release the shard
+// lock — a held shardMu would deadlock feeds and checkpoints for every
+// neighbor on the shard.
+func TestCheckpointPanicReleasesShardLock(t *testing.T) {
+	fx := getFixture(t)
+	cfg := baseConfig(t, fx, 1, t.TempDir())
+	// Checkpoints are driven by hand; keep the housekeeper asleep so it
+	// cannot race the monitor poisoning below.
+	cfg.CheckpointInterval = time.Hour
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //lint:ignore errcheck fleet.Close always returns nil; deferred for cleanup only
+
+	victim, err := d.Add("home-v", "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbor, err := d.Add("home-n", "tok") // one shard: same lock as the victim
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, victim, fx.classes[0][:100])
+	victim.queue.Flush()
+	victim.checkpoint()
+	if victim.storeGen.Load() < 1 {
+		t.Fatal("no clean generation before the induced panic")
+	}
+
+	// Poison the marshal path: a nil monitor panics inside the
+	// shard-locked marshal closure.
+	victim.shardMu.Lock()
+	victim.monitor = nil
+	victim.shardMu.Unlock()
+	victim.checkpoint()
+
+	if h := victim.Health(); h != Quarantined {
+		t.Fatalf("victim health after checkpoint panic = %v, want quarantined", h)
+	}
+	if !victim.shardMu.TryLock() {
+		t.Fatal("checkpoint panic left the shard lock held")
+	}
+	victim.shardMu.Unlock()
+
+	// Neighbors on the same shard keep checkpointing.
+	ingestAll(t, neighbor, fx.classes[1][:100])
+	neighbor.queue.Flush()
+	neighbor.checkpoint()
+	if neighbor.storeGen.Load() < 1 {
+		t.Error("neighbor could not land a checkpoint after the victim's panic")
+	}
+	if h := neighbor.Health(); h != Healthy {
+		t.Errorf("neighbor health = %v, want healthy", h)
+	}
+}
+
+// TestQuarantineSticky pins the FSM's terminal state: once a tenant is
+// quarantined, neither a direct setHealth nor a reevaluation may
+// un-fence it — the race this guards is a panic quarantine landing
+// between a reevaluation's health check and its store.
+func TestQuarantineSticky(t *testing.T) {
+	fx := getFixture(t)
+	cfg := baseConfig(t, fx, 1, t.TempDir())
+	cfg.CheckpointInterval = time.Hour
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //lint:ignore errcheck fleet.Close always returns nil; deferred for cleanup only
+	tn, err := d.Add("home-1", "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tn.forceQuarantine("test-induced")
+	tn.setHealth(Healthy, "racing reevaluation")
+	if h := tn.Health(); h != Quarantined {
+		t.Fatalf("setHealth(Healthy) escaped quarantine: health = %v", h)
+	}
+	tn.setHealth(Degraded, "racing reevaluation")
+	if h := tn.Health(); h != Quarantined {
+		t.Fatalf("setHealth(Degraded) escaped quarantine: health = %v", h)
+	}
+	tn.reevaluateHealth("racing reevaluation")
+	if h := tn.Health(); h != Quarantined {
+		t.Fatalf("reevaluateHealth escaped quarantine: health = %v", h)
+	}
+}
+
+// TestRestartFailureLeavesQuarantinedPlaceholder pins the recovery
+// path's failure mode: when a quarantined tenant's rebuild itself
+// fails (here, a directory squatting on its event-log path), the
+// tenant must not vanish from the registry — it stays visible and
+// quarantined, keeps rejecting ingest with the distinct error, and a
+// later restart succeeds once the fault clears.
+func TestRestartFailureLeavesQuarantinedPlaceholder(t *testing.T) {
+	fx := getFixture(t)
+	cfg := baseConfig(t, fx, 1, t.TempDir())
+	cfg.CheckpointInterval = time.Hour
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //lint:ignore errcheck fleet.Close always returns nil; deferred for cleanup only
+	ts := newControlServer(t, d)
+
+	tn, err := d.Add("home-1", "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, tn, fx.classes[0][:100])
+	tn.queue.Flush()
+	tn.checkpoint()
+	tn.forceQuarantine("test-induced")
+
+	// Break the rebuild: the new incarnation cannot open its event log.
+	logPath := filepath.Join(cfg.EventLogDir, "home-1.jsonl")
+	if err := os.Remove(logPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(logPath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/tenants/home-1/restart", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("restart with broken event-log path = %d: %s, want 500", resp.StatusCode, body)
+	}
+
+	// The tenant is still registered, still fenced, still counted.
+	got := d.Get("home-1")
+	if got == nil {
+		t.Fatal("failed restart removed the tenant from the registry")
+	}
+	if h := got.Health(); h != Quarantined {
+		t.Fatalf("placeholder health = %v, want quarantined", h)
+	}
+	r0 := fx.classes[0][0]
+	if err := got.IngestRecord(r0.Time, r0.Data, nil); err != ErrTenantQuarantined {
+		t.Errorf("placeholder ingest error = %v, want ErrTenantQuarantined", err)
+	}
+	if _, q := d.healthCounts(); q != 1 {
+		t.Errorf("healthCounts quarantined = %d, want 1", q)
+	}
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(body, []byte(`"quarantined": 1`)) {
+		t.Errorf("/healthz = %d %s, want 503 with quarantined: 1", resp.StatusCode, body)
+	}
+
+	// Fault clears; the retried restart rebuilds from the last durable
+	// checkpoint and the tenant ingests again.
+	if err := os.Remove(logPath); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/tenants/home-1/restart", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried restart = %d: %s", resp.StatusCode, body)
+	}
+	revived := d.Get("home-1")
+	if revived == nil || revived == got {
+		t.Fatal("retried restart did not produce a new incarnation")
+	}
+	if h := revived.Health(); h != Healthy {
+		t.Errorf("revived health = %v, want healthy", h)
+	}
+	if revived.restarts.Load() == 0 {
+		t.Error("revived tenant lost its restart count")
+	}
+	if err := revived.IngestRecord(r0.Time, r0.Data, nil); err != nil {
+		t.Errorf("revived ingest: %v", err)
 	}
 }

@@ -47,23 +47,36 @@ func (t *Tenant) Health() Health { return Health(t.health.Load()) }
 // setHealth transitions the FSM, logging the transition to the
 // process log and the tenant's event log. Only faulted tenants ever
 // transition, so unaffected tenants' event logs stay byte-identical to
-// reference runs (the isolation oracle depends on this).
+// reference runs (the isolation oracle depends on this). The
+// transition is a CAS loop that refuses to leave Quarantined: a
+// quarantinePanic landing between a caller's health check and this
+// store (listener-goroutine ingest panic racing the housekeeper's
+// checkpoint-failure reevaluation) must not be overwritten — that
+// would un-fence a tenant whose monitor state may be poisoned. Only
+// Restart escapes quarantine, by building a new incarnation.
 func (t *Tenant) setHealth(to Health, reason string) {
-	from := Health(t.health.Swap(int32(to)))
-	if from == to {
+	for {
+		from := Health(t.health.Load())
+		if from == to || from == Quarantined {
+			return
+		}
+		if !t.health.CompareAndSwap(int32(from), int32(to)) {
+			continue
+		}
+		log.Printf("fleet: tenant %s health %s -> %s (%s)", t.ID, from, to, reason)
+		t.ringMu.Lock()
+		t.appendEventLogLocked(eventLogLine{
+			Type: "health", Time: time.Now().UTC(), Device: t.ID,
+			Label: to.String(), Detail: reason,
+		})
+		t.ringMu.Unlock()
 		return
 	}
-	log.Printf("fleet: tenant %s health %s -> %s (%s)", t.ID, from, to, reason)
-	t.ringMu.Lock()
-	t.appendEventLogLocked(eventLogLine{
-		Type: "health", Time: time.Now().UTC(), Device: t.ID,
-		Label: to.String(), Detail: reason,
-	})
-	t.ringMu.Unlock()
 }
 
 // reevaluateHealth recomputes Healthy/Degraded from the degradation
-// inputs. Quarantine is sticky: only Restart leaves it.
+// inputs. Quarantine is sticky: setHealth refuses to leave it (the
+// check here is just a fast path), and only Restart escapes.
 func (t *Tenant) reevaluateHealth(reason string) {
 	if t.Health() == Quarantined {
 		return
@@ -104,6 +117,18 @@ func (t *Tenant) quarantinePanic(where string, r any) {
 	// the panic line above already records the cause.
 	if from := Health(t.health.Swap(int32(Quarantined))); from != Quarantined {
 		log.Printf("fleet: tenant %s health %s -> quarantined (panic in %s)", t.ID, from, where)
+	}
+}
+
+// forceQuarantine fences a tenant outside the panic path — today, a
+// Restart whose rebuild failed, which re-registers the closed old
+// incarnation as a quarantined placeholder. Entering Quarantined is
+// always legal (it is the sticky terminal state), so a plain Swap
+// suffices. The event log is typically already closed here, so the
+// transition goes to the process log only.
+func (t *Tenant) forceQuarantine(reason string) {
+	if from := Health(t.health.Swap(int32(Quarantined))); from != Quarantined {
+		log.Printf("fleet: tenant %s health %s -> quarantined (%s)", t.ID, from, reason)
 	}
 }
 

@@ -123,7 +123,10 @@ func (d *Daemon) Remove(id string) error {
 // durable generation. The cumulative panic count carries across
 // incarnations; once it exceeds the crash-loop budget, Restart refuses
 // with ErrCrashLoop and the tenant stays quarantined — an operator
-// problem, not a restart-until-the-heat-death loop.
+// problem, not a restart-until-the-heat-death loop. If the rebuild
+// itself fails, the closed old incarnation is re-registered as a
+// quarantined placeholder: the tenant never vanishes from the
+// registry, and Restart can be retried once the fault clears.
 func (d *Daemon) Restart(id string) (*Tenant, error) {
 	d.mu.Lock()
 	if d.closed {
@@ -164,6 +167,18 @@ func (d *Daemon) Restart(id string) (*Tenant, error) {
 	d.mu.Lock()
 	delete(d.pending, id)
 	if err != nil {
+		// The rebuild failed (store open, event-log I/O, ... — often the
+		// same fault that caused the quarantine). Do not let the tenant
+		// vanish from the registry: re-register the closed old
+		// incarnation as a quarantined placeholder, so it stays visible
+		// on /tenants and /healthz, its supervision history (panics,
+		// restarts) keeps enforcing the crash-loop budget, and a later
+		// Restart can retry once the operator clears the fault
+		// (old.close is idempotent, so retrying is safe).
+		if !d.closed {
+			old.forceQuarantine(fmt.Sprintf("restart failed: %v", err))
+			d.tenants[id] = old
+		}
 		d.mu.Unlock()
 		return nil, err
 	}

@@ -38,10 +38,17 @@ func (t *Tenant) checkpoint() {
 	defer t.ckptMu.Unlock()
 	defer t.catchPanic("checkpoint")
 	t.queue.Flush()
-	t.shardMu.Lock()
-	pipeSnap := core.MarshalPipeline(t.pipe)
-	monSnap := t.monitor.MarshalState()
-	t.shardMu.Unlock()
+	// The shard lock is released by defer, not inline: a panic while
+	// marshaling unwinds into catchPanic above, and quarantining this
+	// tenant must not leave shardMu held — that would deadlock feeds
+	// and checkpoints for every neighbor on the shard.
+	var pipeSnap, monSnap []byte
+	func() {
+		t.shardMu.Lock()
+		defer t.shardMu.Unlock()
+		pipeSnap = core.MarshalPipeline(t.pipe)
+		monSnap = t.monitor.MarshalState()
+	}()
 	state := t.marshalState()
 	gen, err := t.store.Write(t.fingerprint, map[string][]byte{
 		modelstore.FilePipeline: pipeSnap,

@@ -208,13 +208,15 @@ func (t *Tenant) feedBatch(ps []*netparse.Packet) {
 // data; it travels with the packet to the queue sink (the recycle
 // point) or is recycled here when decode fails.
 func (t *Tenant) IngestRecord(ts time.Time, data []byte, buf *[]byte) (err error) {
-	if t.closed.Load() {
-		pcapio.PutBuf(buf)
-		return ErrTenantClosed
-	}
+	// Quarantine outranks closed: a restart-failure placeholder is both,
+	// and sources should hear the operator-actionable error.
 	if t.Health() == Quarantined {
 		pcapio.PutBuf(buf)
 		return ErrTenantQuarantined
+	}
+	if t.closed.Load() {
+		pcapio.PutBuf(buf)
+		return ErrTenantClosed
 	}
 	// Ingest is a supervision boundary: a decode/queue panic must
 	// quarantine this tenant, not unwind into the listener and kill
