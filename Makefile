@@ -7,7 +7,7 @@ GO ?= go
 	fmt-check check clean \
 	bench bench-json bench-ratchet experiments-quick \
 	experiments-expectations experiments-train fuzz-smoke crash-recovery \
-	fleet-soak fault-soak
+	fleet-soak fault-soak crash-soak-fleet
 
 # Date stamp for benchmark artifacts (UTC, override with BENCH_DATE=).
 BENCH_DATE ?= $(shell date -u +%F)
@@ -95,10 +95,17 @@ bench-json:
 ## alloc ratchet still bites on any machine). The fresh report lands in
 ## BENCH_ratchet.json for CI to archive. After a deliberate improvement,
 ## re-baseline with: cp BENCH_ratchet.json BENCH_baseline.json
+## The checkpoint-bytes benchmark runs in the same ratchet at its own
+## (small) iteration count — it writes real store generations to disk —
+## and ratchets on the deterministic ckptB/op metric: a delta-chain
+## size regression fails CI like an alloc regression does.
 BENCH_RATCHET_ITERS ?= 200000
+BENCH_CKPT_ITERS ?= 64
 bench-ratchet:
-	$(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchmem \
-		-benchtime=$(BENCH_RATCHET_ITERS)x . | \
+	{ $(GO) test -run '^$$' -bench '^BenchmarkHotPath' -benchmem \
+		-benchtime=$(BENCH_RATCHET_ITERS)x . && \
+	  $(GO) test -run '^$$' -bench '^BenchmarkCheckpointBytes$$' \
+		-benchtime=$(BENCH_CKPT_ITERS)x ./internal/modelstore/ ; } | \
 		$(GO) run ./cmd/benchjson -out BENCH_ratchet.json -compare BENCH_baseline.json
 
 ## experiments-quick: regenerate every table and figure at reduced scale
@@ -172,6 +179,23 @@ fleet-soak:
 fault-soak:
 	$(GO) test -race -run 'TestFaultSoak' -count=1 -timeout 20m -v \
 		./internal/fleet/
+
+## crash-soak-fleet: the whole-fleet SIGKILL durability gate, under
+## -race. A 50-tenant behaviotd with differential checkpoints
+## (-store-full-every 4) is SIGKILLed twice mid-ingest — once while a
+## fault injector tears the fleet's first delta-payload write — and
+## restarted with -resume; sources recover their cursor from each
+## tenant's /status and resend the remainder. Event logs and
+## materialized model state must come out byte-identical to an
+## uninterrupted reference fleet, -verify-store must find every newest
+## delta chain intact, and no tenant may take a resume fallback. The
+## in-process half asserts the economics: the same workload
+## checkpointed differentially must cost <= 40% of the bytes of
+## full-every-time. Set BEHAVIOT_SOAK_DIR to keep artifacts from
+## failing runs for upload; -count=1 forces fresh runs.
+crash-soak-fleet:
+	$(GO) test -race -run 'TestCrashSoakFleet|TestDeltaCheckpointBytesBudget' \
+		-count=1 -timeout 20m -v ./cmd/behaviotd/ ./internal/fleet/
 
 ## check: everything CI runs
 check: build vet fmt-check lint lint-timing test race

@@ -12,6 +12,7 @@ import (
 
 	"behaviot/internal/backoff"
 	"behaviot/internal/core"
+	"behaviot/internal/faultfs"
 	"behaviot/internal/flows"
 	"behaviot/internal/modelstore"
 	"behaviot/internal/snapio"
@@ -25,6 +26,21 @@ var errStopped = errors.New("feed stopped for shutdown")
 // daemonSnapVersion guards the daemon.snap wire format: the feed cursor,
 // ingest counters, recent-event rings, and the event-log offset.
 const daemonSnapVersion = 1
+
+// parseStoreFault turns the -store-fault spec into the filesystem the
+// model store writes through: nil (the real filesystem) for an empty
+// spec, a faultfs injector otherwise. Fault soaks use it to tear or
+// fail specific store writes inside a real daemon process.
+func parseStoreFault(spec string) (faultfs.FS, error) {
+	cfg, err := faultfs.ParseConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg == (faultfs.Config{}) {
+		return nil, nil
+	}
+	return faultfs.Wrap(nil, cfg), nil
+}
 
 // fileCRC returns the CRC32C of a file's contents, the cheap identity
 // used in store fingerprints (a capture or manifest edit must invalidate

@@ -16,6 +16,7 @@ import (
 
 	"behaviot/internal/core"
 	"behaviot/internal/datasets"
+	"behaviot/internal/faultfs"
 	"behaviot/internal/fleet"
 	"behaviot/internal/fleet/listener"
 	"behaviot/internal/flows"
@@ -27,20 +28,22 @@ import (
 // fleetOptions carries the flag values runFleet consumes (both the
 // fleet-specific flags and the shared ones it reuses).
 type fleetOptions struct {
-	listen   string // control-plane HTTP address (shared -listen)
-	shards   int
-	unix     string // comma-separated unix socket paths
-	tcp      string // TCP ingest listen address
-	tenants  string // tenants roster file (id,token per line)
-	logDir   string // per-tenant event log directory
-	sim      bool
-	idle     string
-	devices  string
-	queueLen int
-	maxSkew  time.Duration
-	store    string
-	ckptIvl  time.Duration
-	resume   bool
+	listen    string // control-plane HTTP address (shared -listen)
+	shards    int
+	unix      string // comma-separated unix socket paths
+	tcp       string // TCP ingest listen address
+	tenants   string // tenants roster file (id,token per line)
+	logDir    string // per-tenant event log directory
+	sim       bool
+	idle      string
+	devices   string
+	queueLen  int
+	maxSkew   time.Duration
+	store     string
+	ckptIvl   time.Duration
+	fullEvery int        // -store-full-every: differential checkpoint cadence
+	storeFS   faultfs.FS // parsed -store-fault injector, nil = real filesystem
+	resume    bool
 }
 
 // runFleet is the multi-tenant entry point: train (or load) one
@@ -85,6 +88,8 @@ func runFleet(opts fleetOptions) int {
 		AssemblerCfg:       acfg,
 		StreamCfg:          stream.Config{MaxSkew: opts.maxSkew},
 		StoreRoot:          opts.store,
+		StoreFullEvery:     opts.fullEvery,
+		StoreFS:            opts.storeFS,
 		EventLogDir:        opts.logDir,
 		CheckpointInterval: ckptIvl,
 		Resume:             opts.resume,

@@ -154,20 +154,23 @@ func main() {
 // and a nonzero status instead of a bare log.Fatal mid-feed.
 func run() int {
 	var (
-		listen   = flag.String("listen", ":8650", "HTTP listen address")
-		sim      = flag.Bool("sim", false, "self-contained demo: train on the simulator and feed synthetic traffic")
-		simRate  = flag.Float64("simrate", 0, "replay speed multiplier for the -sim and -replay feeds (0 = as fast as possible)")
-		idleP    = flag.String("idle", "", "idle training capture (pcap)")
-		devsP    = flag.String("devices", "", "device manifest CSV")
-		replayP  = flag.String("replay", "", "capture to monitor (pcap)")
-		tolerant = flag.Bool("tolerant", false, "degrade gracefully on damaged captures: resync past corrupt pcap records, count malformed frames per class instead of aborting")
-		queueLen = flag.Int("queue", 0, "bounded feed queue length between capture producer and monitor (0 = feed directly); overflow is counted, not blocking")
-		maxSkew  = flag.Duration("maxskew", 0, "drop packets whose timestamp lags stream time by more than this (0 = accept any lag)")
-		impairS  = flag.String("impair", "", "impair the -sim feed through internal/chaos, e.g. drop=0.01,corrupt=0.01,skew=50ms (requires -sim)")
-		storeP   = flag.String("store", "", "model store directory for crash-safe checkpoints (empty = no checkpointing)")
-		ckptIvl  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint models and streaming state into -store")
-		resumeF  = flag.Bool("resume", false, "resume from the newest intact -store snapshot: skip training, restore streaming state, fast-forward the feed cursor")
-		eventLog = flag.String("eventlog", "", "append one JSON line per user event and deviation to this file (truncated to the last checkpoint on -resume)")
+		listen    = flag.String("listen", ":8650", "HTTP listen address")
+		sim       = flag.Bool("sim", false, "self-contained demo: train on the simulator and feed synthetic traffic")
+		simRate   = flag.Float64("simrate", 0, "replay speed multiplier for the -sim and -replay feeds (0 = as fast as possible)")
+		idleP     = flag.String("idle", "", "idle training capture (pcap)")
+		devsP     = flag.String("devices", "", "device manifest CSV")
+		replayP   = flag.String("replay", "", "capture to monitor (pcap)")
+		tolerant  = flag.Bool("tolerant", false, "degrade gracefully on damaged captures: resync past corrupt pcap records, count malformed frames per class instead of aborting")
+		queueLen  = flag.Int("queue", 0, "bounded feed queue length between capture producer and monitor (0 = feed directly); overflow is counted, not blocking")
+		maxSkew   = flag.Duration("maxskew", 0, "drop packets whose timestamp lags stream time by more than this (0 = accept any lag)")
+		impairS   = flag.String("impair", "", "impair the -sim feed through internal/chaos, e.g. drop=0.01,corrupt=0.01,skew=50ms (requires -sim)")
+		storeP    = flag.String("store", "", "model store directory for crash-safe checkpoints (empty = no checkpointing)")
+		ckptIvl   = flag.Duration("checkpoint-interval", 30*time.Second, "how often to checkpoint models and streaming state into -store")
+		fullEvery = flag.Int("store-full-every", 1, "differential checkpoints: write a full snapshot every N generations and deltas in between (1 = every checkpoint is full)")
+		storeFlt  = flag.String("store-fault", "", "inject filesystem faults into -store writes (internal/faultfs spec, e.g. failwrite=1,tear=3,path=.delta,match=1); fault soaks only")
+		verifyF   = flag.Bool("verify-store", false, "verify the -store directory (single store or fleet tenants/ root): validate every generation's delta chain, print a report, exit nonzero if any newest chain is broken")
+		resumeF   = flag.Bool("resume", false, "resume from the newest intact -store snapshot: skip training, restore streaming state, fast-forward the feed cursor")
+		eventLog  = flag.String("eventlog", "", "append one JSON line per user event and deviation to this file (truncated to the last checkpoint on -resume)")
 
 		fleetMode    = flag.Bool("fleet", false, "multi-tenant mode: host many homes behind one daemon, ingesting over -fleet-unix/-fleet-tcp sockets (shares -listen, -queue, -maxskew, -store, -checkpoint-interval, -resume, and the -sim or -idle/-devices training inputs)")
 		fleetShards  = flag.Int("fleet-shards", 0, "fleet serialization shards / worker count (0 = GOMAXPROCS)")
@@ -179,22 +182,38 @@ func run() int {
 	flag.Parse()
 	log.SetFlags(log.Ltime)
 
+	if *verifyF {
+		if *storeP == "" {
+			fmt.Fprintln(os.Stderr, "behaviotd: -verify-store requires -store; see -h")
+			return 2
+		}
+		return runVerifyStore(*storeP, os.Stdout)
+	}
+
+	storeFS, err := parseStoreFault(*storeFlt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "behaviotd:", err)
+		return 2
+	}
+
 	if *fleetMode {
 		return runFleet(fleetOptions{
-			listen:   *listen,
-			shards:   *fleetShards,
-			unix:     *fleetUnix,
-			tcp:      *fleetTCP,
-			tenants:  *fleetTenants,
-			logDir:   *fleetLogDir,
-			sim:      *sim,
-			idle:     *idleP,
-			devices:  *devsP,
-			queueLen: *queueLen,
-			maxSkew:  *maxSkew,
-			store:    *storeP,
-			ckptIvl:  *ckptIvl,
-			resume:   *resumeF,
+			listen:    *listen,
+			shards:    *fleetShards,
+			unix:      *fleetUnix,
+			tcp:       *fleetTCP,
+			tenants:   *fleetTenants,
+			logDir:    *fleetLogDir,
+			sim:       *sim,
+			idle:      *idleP,
+			devices:   *devsP,
+			queueLen:  *queueLen,
+			maxSkew:   *maxSkew,
+			store:     *storeP,
+			ckptIvl:   *ckptIvl,
+			fullEvery: *fullEvery,
+			storeFS:   storeFS,
+			resume:    *resumeF,
 		})
 	}
 
@@ -211,7 +230,9 @@ func run() int {
 	srv := &server{started: time.Now(), tolerant: *tolerant, resume: *resumeF}
 	if *storeP != "" {
 		srv.store, err = modelstore.Open(*storeP, modelstore.Options{
-			Now: func() int64 { return time.Now().Unix() },
+			Now:       func() int64 { return time.Now().Unix() },
+			FullEvery: *fullEvery,
+			FS:        storeFS,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "behaviotd:", err)
@@ -489,9 +510,13 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		body["queue_depth"] = s.queue.Depth()
 	}
 	if s.store != nil {
+		ws := s.store.Stats()
 		body["store_generation"] = s.storeGen.Load()
 		body["checkpoints_total"] = s.checkpointsTotal.Load()
 		body["checkpoint_failures_total"] = s.ckptFailuresTotal.Load()
+		body["checkpoint_fulls_total"] = ws.Fulls
+		body["checkpoint_deltas_total"] = ws.Deltas
+		body["checkpoint_bytes_total"] = ws.FullBytes + ws.DeltaBytes
 		if last := s.lastCkptUnix.Load(); last > 0 {
 			age := time.Since(time.Unix(0, last)).Seconds()
 			body["last_checkpoint_age_seconds"] = age
@@ -558,8 +583,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE behaviot_queue_depth gauge\nbehaviot_queue_depth %d\n", s.queue.Depth())
 	}
 	if s.store != nil {
+		ws := s.store.Stats()
 		fmt.Fprintf(w, "# TYPE behaviot_checkpoints_total counter\nbehaviot_checkpoints_total %d\n", s.checkpointsTotal.Load())
 		fmt.Fprintf(w, "# TYPE behaviot_checkpoint_failures_total counter\nbehaviot_checkpoint_failures_total %d\n", s.ckptFailuresTotal.Load())
+		fmt.Fprintf(w, "# TYPE behaviot_checkpoint_fulls_total counter\nbehaviot_checkpoint_fulls_total %d\n", ws.Fulls)
+		fmt.Fprintf(w, "# TYPE behaviot_checkpoint_deltas_total counter\nbehaviot_checkpoint_deltas_total %d\n", ws.Deltas)
+		fmt.Fprintf(w, "# TYPE behaviot_checkpoint_bytes_total counter\nbehaviot_checkpoint_bytes_total %d\n", ws.FullBytes+ws.DeltaBytes)
 		fmt.Fprintf(w, "# TYPE behaviot_store_generation gauge\nbehaviot_store_generation %d\n", s.storeGen.Load())
 		// Absent until the first checkpoint lands: emitting an age
 		// computed from the zero value would report ~56 years of

@@ -46,6 +46,11 @@ type Result struct {
 	// PktsPerSec is the custom pkts/s metric the hot-path benchmarks
 	// report via b.ReportMetric.
 	PktsPerSec float64 `json:"pkts_per_sec,omitempty"`
+	// CkptBytesPerOp is the custom ckptB/op metric the checkpoint-bytes
+	// benchmark reports: average store payload bytes per checkpoint.
+	// Deterministic for a fixed iteration count, so it ratchets
+	// machine-independently like allocs/op.
+	CkptBytesPerOp float64 `json:"ckpt_bytes_per_op,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -60,8 +65,9 @@ func main() {
 	var (
 		in      = flag.String("in", "", "input file (default: stdin)")
 		out     = flag.String("out", "", "output file (default: BENCH_<date>.json; date honors SOURCE_DATE_EPOCH)")
-		compare = flag.String("compare", "", "baseline BENCH_*.json to ratchet against: exit nonzero on any allocs/op increase or a throughput drop beyond -throughput-tolerance")
+		compare = flag.String("compare", "", "baseline BENCH_*.json to ratchet against: exit nonzero on any allocs/op increase, a throughput drop beyond -throughput-tolerance, or a ckptB/op growth beyond -ckpt-tolerance")
 		thrTol  = flag.Float64("throughput-tolerance", 0.10, "allowed fractional throughput drop vs the -compare baseline (0 disables throughput comparison)")
+		ckptTol = flag.Float64("ckpt-tolerance", 0.02, "allowed fractional ckptB/op growth vs the -compare baseline (the metric is deterministic; the slack only absorbs deliberate payload-shape tweaks)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -121,7 +127,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("benchjson: baseline: %v", err)
 		}
-		problems, notes := Compare(base, report, *thrTol)
+		problems, notes := Compare(base, report, *thrTol, *ckptTol)
 		for _, n := range notes {
 			log.Println("note:", n)
 		}
@@ -156,7 +162,13 @@ func readReport(path string) (*Report, error) {
 // both reports ran on the same CPU model, and only drops beyond
 // thrTol (a fraction, e.g. 0.10) fail. Improvements come back as notes
 // so the baseline can be re-tightened deliberately.
-func Compare(baseline, current *Report, thrTol float64) (problems, notes []string) {
+//
+// Benchmarks carrying the ckptB/op metric ratchet on checkpoint bytes
+// instead of throughput: the metric is deterministic for a fixed
+// iteration count, so any growth beyond ckptTol is a delta-chain size
+// regression wherever the run happens — and disk-bound wall-clock
+// noise never enters the comparison.
+func Compare(baseline, current *Report, thrTol, ckptTol float64) (problems, notes []string) {
 	cur := make(map[string]Result, len(current.Benchmarks))
 	for _, r := range current.Benchmarks {
 		cur[r.Pkg+"."+r.Name] = r
@@ -181,6 +193,23 @@ func Compare(baseline, current *Report, thrTol float64) (problems, notes []strin
 		case c.AllocsPerOp < b.AllocsPerOp:
 			notes = append(notes, fmt.Sprintf("%s: allocs/op improved %d -> %d; re-baseline to lock it in",
 				key, b.AllocsPerOp, c.AllocsPerOp))
+		}
+		if b.CkptBytesPerOp > 0 {
+			switch {
+			//lint:ignore floateq exact zero means the run never emitted the metric
+			case c.CkptBytesPerOp == 0:
+				problems = append(problems, fmt.Sprintf(
+					"%s: baseline reports ckptB/op but the current run does not", key))
+			case c.CkptBytesPerOp > b.CkptBytesPerOp*(1+ckptTol):
+				problems = append(problems, fmt.Sprintf(
+					"%s: checkpoint bytes regressed %.0f -> %.0f ckptB/op (more than %.0f%% growth)",
+					key, b.CkptBytesPerOp, c.CkptBytesPerOp, ckptTol*100))
+			case c.CkptBytesPerOp < b.CkptBytesPerOp:
+				notes = append(notes, fmt.Sprintf(
+					"%s: checkpoint bytes improved %.0f -> %.0f ckptB/op; re-baseline to lock it in",
+					key, b.CkptBytesPerOp, c.CkptBytesPerOp))
+			}
+			continue // bytes are the contract; disk-bound throughput is noise
 		}
 		if cpuMatch && thrTol > 0 {
 			bt, ct := throughput(b), throughput(c)
@@ -279,6 +308,8 @@ func parseResultLine(line string) (Result, bool) {
 			res.MBPerSec, _ = strconv.ParseFloat(val, 64)
 		case "pkts/s":
 			res.PktsPerSec, _ = strconv.ParseFloat(val, 64)
+		case "ckptB/op":
+			res.CkptBytesPerOp, _ = strconv.ParseFloat(val, 64)
 		}
 	}
 	return res, seen

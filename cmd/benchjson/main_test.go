@@ -101,7 +101,7 @@ func TestCompareRatchet(t *testing.T) {
 	)
 
 	t.Run("identical run passes", func(t *testing.T) {
-		problems, _ := Compare(base, base, 0.10)
+		problems, _ := Compare(base, base, 0.10, 0.02)
 		if len(problems) != 0 {
 			t.Errorf("problems = %v, want none", problems)
 		}
@@ -112,7 +112,7 @@ func TestCompareRatchet(t *testing.T) {
 			Result{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 1, PktsPerSec: 1e6},
 			Result{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 3},
 		)
-		problems, _ := Compare(base, cur, 0.10)
+		problems, _ := Compare(base, cur, 0.10, 0.02)
 		if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op regressed 0 -> 1") {
 			t.Errorf("problems = %v, want one alloc regression", problems)
 		}
@@ -123,7 +123,7 @@ func TestCompareRatchet(t *testing.T) {
 			Result{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 0, PktsPerSec: 1e6},
 			Result{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 1},
 		)
-		problems, notes := Compare(base, cur, 0.10)
+		problems, notes := Compare(base, cur, 0.10, 0.02)
 		if len(problems) != 0 {
 			t.Errorf("problems = %v, want none", problems)
 		}
@@ -137,7 +137,7 @@ func TestCompareRatchet(t *testing.T) {
 			Result{Name: "A", Pkg: "p", NsPerOp: 2000, AllocsPerOp: 0, PktsPerSec: 0.5e6},
 			Result{Name: "B", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 3},
 		)
-		problems, _ := Compare(base, cur, 0.10)
+		problems, _ := Compare(base, cur, 0.10, 0.02)
 		if len(problems) != 1 || !strings.Contains(problems[0], "throughput regressed") {
 			t.Errorf("problems = %v, want one throughput regression", problems)
 		}
@@ -148,7 +148,7 @@ func TestCompareRatchet(t *testing.T) {
 			Result{Name: "A", Pkg: "p", NsPerOp: 1050, AllocsPerOp: 0, PktsPerSec: 0.95e6},
 			Result{Name: "B", Pkg: "p", NsPerOp: 1050, AllocsPerOp: 3},
 		)
-		problems, _ := Compare(base, cur, 0.10)
+		problems, _ := Compare(base, cur, 0.10, 0.02)
 		if len(problems) != 0 {
 			t.Errorf("problems = %v, want none", problems)
 		}
@@ -159,7 +159,7 @@ func TestCompareRatchet(t *testing.T) {
 			Result{Name: "A", Pkg: "p", NsPerOp: 9000, AllocsPerOp: 2, PktsPerSec: 0.1e6},
 			Result{Name: "B", Pkg: "p", NsPerOp: 9000, AllocsPerOp: 3},
 		)
-		problems, notes := Compare(base, cur, 0.10)
+		problems, notes := Compare(base, cur, 0.10, 0.02)
 		if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op regressed") {
 			t.Errorf("problems = %v, want only the alloc regression", problems)
 		}
@@ -174,11 +174,53 @@ func TestCompareRatchet(t *testing.T) {
 		}
 	})
 
+	t.Run("checkpoint bytes ratchet", func(t *testing.T) {
+		ckptBase := mkReport("cpu0",
+			Result{Name: "C", Pkg: "p", NsPerOp: 5e6, CkptBytesPerOp: 10000},
+		)
+		// Growth beyond the tolerance fails, wherever it runs (the
+		// metric is machine-independent — note the CPU mismatch).
+		cur := mkReport("cpu1",
+			Result{Name: "C", Pkg: "p", NsPerOp: 5e6, CkptBytesPerOp: 10300},
+		)
+		problems, _ := Compare(ckptBase, cur, 0.10, 0.02)
+		if len(problems) != 1 || !strings.Contains(problems[0], "checkpoint bytes regressed") {
+			t.Errorf("problems = %v, want one checkpoint-bytes regression", problems)
+		}
+		// Growth within tolerance passes, and disk-bound wall-clock
+		// swings never count as a throughput regression.
+		cur = mkReport("cpu0",
+			Result{Name: "C", Pkg: "p", NsPerOp: 25e6, CkptBytesPerOp: 10100},
+		)
+		problems, _ = Compare(ckptBase, cur, 0.10, 0.02)
+		if len(problems) != 0 {
+			t.Errorf("problems = %v, want none", problems)
+		}
+		// An improvement only notes; a run that lost the metric fails.
+		cur = mkReport("cpu0",
+			Result{Name: "C", Pkg: "p", NsPerOp: 5e6, CkptBytesPerOp: 9000},
+		)
+		problems, notes := Compare(ckptBase, cur, 0.10, 0.02)
+		if len(problems) != 0 {
+			t.Errorf("problems = %v, want none", problems)
+		}
+		if len(notes) != 1 || !strings.Contains(notes[0], "checkpoint bytes improved") {
+			t.Errorf("notes = %v, want one improvement note", notes)
+		}
+		cur = mkReport("cpu0",
+			Result{Name: "C", Pkg: "p", NsPerOp: 5e6},
+		)
+		problems, _ = Compare(ckptBase, cur, 0.10, 0.02)
+		if len(problems) != 1 || !strings.Contains(problems[0], "does not") {
+			t.Errorf("problems = %v, want one lost-metric failure", problems)
+		}
+	})
+
 	t.Run("missing benchmark fails", func(t *testing.T) {
 		cur := mkReport("cpu0",
 			Result{Name: "A", Pkg: "p", NsPerOp: 1000, AllocsPerOp: 0, PktsPerSec: 1e6},
 		)
-		problems, _ := Compare(base, cur, 0.10)
+		problems, _ := Compare(base, cur, 0.10, 0.02)
 		if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
 			t.Errorf("problems = %v, want one missing-benchmark failure", problems)
 		}

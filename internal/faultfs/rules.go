@@ -58,6 +58,58 @@ func (r FailOp) Check(ev Event) *Fault {
 	}
 }
 
+// FailMatch faults operations of one kind counted among matching
+// paths: the Nth..(Nth+Count-1)th operations whose path contains
+// PathContains fail (Count <= 0 means exactly one). Where FailOp's Nth
+// indexes the injector-global per-kind sequence — which makes "the
+// first delta-payload write" unaddressable when unrelated writes
+// interleave — FailMatch keeps a private match counter, advanced under
+// the injector's lock, so the rule is still a pure function of the
+// operation sequence and a run faults identically every time. Use it
+// through a pointer (the counter is state): faultfs.New(fs,
+// &faultfs.FailMatch{...}).
+type FailMatch struct {
+	Kind         OpKind
+	Nth          int64
+	Count        int64
+	PathContains string
+	Err          error
+	Tear         int
+
+	seen int64
+}
+
+func (r *FailMatch) Name() string { return "fail-match-" + r.Kind.String() }
+
+func (r *FailMatch) Check(ev Event) *Fault {
+	if ev.Kind != r.Kind || r.Nth <= 0 {
+		return nil
+	}
+	if r.PathContains != "" && !strings.Contains(ev.Path, r.PathContains) {
+		return nil
+	}
+	r.seen++
+	n := r.Count
+	if n <= 0 {
+		n = 1
+	}
+	if r.seen < r.Nth || r.seen >= r.Nth+n {
+		return nil
+	}
+	err := r.Err
+	if err == nil {
+		err = EIO
+	}
+	keep := 0
+	if r.Tear > 0 && ev.Kind == OpWrite {
+		keep = r.Tear
+	}
+	return &Fault{
+		Err:       &injectedErr{rule: r.Name(), ev: ev, cause: err},
+		KeepBytes: keep,
+	}
+}
+
 // DiskFull fails every write once cumulative successfully-written
 // bytes reach AfterBytes, with ENOSPC — and fails the syncs and
 // renames on the same paths too, as a truly full filesystem does.
@@ -119,9 +171,29 @@ type Config struct {
 	ENOSPCAfter int64
 	// PathContains narrows every configured rule to matching paths.
 	PathContains string
+	// CountMatches makes the FailNth knobs count only operations whose
+	// path matches PathContains (1-based among matches, via FailMatch)
+	// instead of the injector-global per-kind sequence. "Tear the
+	// first delta-payload write" is CountMatches + PathContains
+	// ".delta" + FailWriteNth 1.
+	CountMatches bool
 	// Err overrides the injected error for the FailNth rules
 	// (default EIO).
 	Err error
+}
+
+// failRule materializes one FailNth knob, honoring CountMatches.
+func (c Config) failRule(kind OpKind, nth int64, tear int) Rule {
+	if c.CountMatches {
+		return &FailMatch{
+			Kind: kind, Nth: nth, Count: c.FailCount,
+			PathContains: c.PathContains, Err: c.Err, Tear: tear,
+		}
+	}
+	return FailOp{
+		Kind: kind, Nth: nth, Count: c.FailCount,
+		PathContains: c.PathContains, Err: c.Err, Tear: tear,
+	}
 }
 
 // Rules materializes the configured rules. The zero Config returns
@@ -129,22 +201,13 @@ type Config struct {
 func (c Config) Rules() []Rule {
 	var rules []Rule
 	if c.FailWriteNth > 0 {
-		rules = append(rules, FailOp{
-			Kind: OpWrite, Nth: c.FailWriteNth, Count: c.FailCount,
-			PathContains: c.PathContains, Err: c.Err, Tear: c.TearBytes,
-		})
+		rules = append(rules, c.failRule(OpWrite, c.FailWriteNth, c.TearBytes))
 	}
 	if c.FailSyncNth > 0 {
-		rules = append(rules, FailOp{
-			Kind: OpSync, Nth: c.FailSyncNth, Count: c.FailCount,
-			PathContains: c.PathContains, Err: c.Err,
-		})
+		rules = append(rules, c.failRule(OpSync, c.FailSyncNth, 0))
 	}
 	if c.FailRenameNth > 0 {
-		rules = append(rules, FailOp{
-			Kind: OpRename, Nth: c.FailRenameNth, Count: c.FailCount,
-			PathContains: c.PathContains, Err: c.Err,
-		})
+		rules = append(rules, c.failRule(OpRename, c.FailRenameNth, 0))
 	}
 	if c.ENOSPCAfter > 0 {
 		rules = append(rules, DiskFull{AfterBytes: c.ENOSPCAfter, PathContains: c.PathContains})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"behaviot/internal/modelstore"
 	"behaviot/internal/stream"
 )
 
@@ -226,6 +227,7 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		t  *Tenant
 		st stream.Stats
 		qs stream.QueueStats
+		ws modelstore.WriteStats
 	}
 	samples := make([]sample, len(tenants))
 	for i, t := range tenants {
@@ -233,6 +235,9 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := t.monitor.Stats()
 		t.shardMu.Unlock()
 		samples[i] = sample{t: t, st: st, qs: t.queue.Stats()}
+		if t.store != nil {
+			samples[i].ws = t.store.Stats()
+		}
 	}
 
 	counters := []struct {
@@ -252,6 +257,10 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"behaviot_tenant_queue_backpressure_waits_total", func(s sample) int64 { return s.qs.BackpressureWaits }},
 		{"behaviot_tenant_checkpoints_total", func(s sample) int64 { return s.t.checkpointsTotal.Load() }},
 		{"behaviot_tenant_checkpoint_failures_total", func(s sample) int64 { return s.t.ckptFailuresTotal.Load() }},
+		{"behaviot_tenant_checkpoint_fulls_total", func(s sample) int64 { return int64(s.ws.Fulls) }},
+		{"behaviot_tenant_checkpoint_deltas_total", func(s sample) int64 { return int64(s.ws.Deltas) }},
+		{"behaviot_tenant_checkpoint_bytes_total", func(s sample) int64 { return int64(s.ws.FullBytes + s.ws.DeltaBytes) }},
+		{"behaviot_tenant_resume_fallbacks_total", func(s sample) int64 { return s.t.resumeFallbacks.Load() }},
 		{"behaviot_tenant_panics_total", func(s sample) int64 { return s.t.panics.Load() }},
 		{"behaviot_tenant_restarts_total", func(s sample) int64 { return s.t.restarts.Load() }},
 	}

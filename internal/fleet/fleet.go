@@ -58,6 +58,12 @@ type Config struct {
 	// operations through it (modelstore.Options.FS) — a
 	// faultfs.Injector in fault soaks. Nil means the real filesystem.
 	StoreFS faultfs.FS
+	// StoreFullEvery enables differential checkpoints in every tenant
+	// store (modelstore.Options.FullEvery): every N-th generation is a
+	// full snapshot, the ones between are deltas against their
+	// predecessor. Values <= 1 (the default) keep the pre-delta
+	// behavior: every checkpoint is a full snapshot.
+	StoreFullEvery int
 	// CheckpointBackoff paces checkpoint retries after a failure. The
 	// zero policy means 500ms base, 30s cap, ±25% jitter (seeded per
 	// tenant ID, so a fleet degraded by one full disk does not

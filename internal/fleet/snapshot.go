@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -37,19 +38,27 @@ func (t *Tenant) checkpoint() {
 	t.ckptMu.Lock()
 	defer t.ckptMu.Unlock()
 	defer t.catchPanic("checkpoint")
-	t.queue.Flush()
-	// The shard lock is released by defer, not inline: a panic while
-	// marshaling unwinds into catchPanic above, and quarantining this
-	// tenant must not leave shardMu held — that would deadlock feeds
-	// and checkpoints for every neighbor on the shard.
-	var pipeSnap, monSnap []byte
+	// The ingest gate freezes the received counter across flush +
+	// marshal so the snapshot's counters agree with the monitor state
+	// it captures (see Tenant.ingestGate). It is released before the
+	// slow store write below — only the in-memory capture needs it.
+	// Locks are released by defer, not inline: a panic while marshaling
+	// unwinds into catchPanic above, and quarantining this tenant must
+	// not leave the gate or shardMu held — that would deadlock ingest,
+	// feeds, and checkpoints for every neighbor on the shard.
+	var pipeSnap, monSnap, state []byte
 	func() {
-		t.shardMu.Lock()
-		defer t.shardMu.Unlock()
-		pipeSnap = core.MarshalPipeline(t.pipe)
-		monSnap = t.monitor.MarshalState()
+		t.ingestGate.Lock()
+		defer t.ingestGate.Unlock()
+		t.queue.Flush()
+		func() {
+			t.shardMu.Lock()
+			defer t.shardMu.Unlock()
+			pipeSnap = core.MarshalPipeline(t.pipe)
+			monSnap = t.monitor.MarshalState()
+		}()
+		state = t.marshalState()
 	}()
-	state := t.marshalState()
 	gen, err := t.store.Write(t.fingerprint, map[string][]byte{
 		modelstore.FilePipeline: pipeSnap,
 		modelstore.FileMonitor:  monSnap,
@@ -175,31 +184,38 @@ func (t *Tenant) restoreState(data []byte) error {
 // newest intact generation matching the fleet fingerprint, rebuild the
 // pipeline from snapshot bytes, and restore streaming + tenant state.
 // Any failure falls back to a fresh pipeline copy — resume is an
-// optimization, never a correctness requirement. Callers gate on the
-// resume decision (fleet-wide Resume for Add, always for Restart).
+// optimization, never a correctness requirement — but real failures
+// (anything other than a cold-start empty store) are counted and
+// surfaced: noteResumeFallback bumps the per-tenant counter that
+// /metrics and /status export and stashes the reason for the event
+// log. Callers gate on the resume decision (fleet-wide Resume for Add,
+// always for Restart).
 func (t *Tenant) tryRestore(scfg stream.Config) bool {
 	if t.store == nil {
 		return false
 	}
 	snap, err := t.store.Load(t.fingerprint)
 	if err != nil {
+		if !errors.Is(err, modelstore.ErrNoSnapshot) {
+			t.noteResumeFallback(fmt.Sprintf("load: %v", err))
+		}
 		return false
 	}
 	pipe, err := core.UnmarshalPipeline(snap.Files[modelstore.FilePipeline])
 	if err != nil {
-		log.Printf("fleet: tenant %s resume: pipeline snapshot: %v; starting fresh", t.ID, err)
+		t.noteResumeFallback(fmt.Sprintf("pipeline snapshot: %v", err))
 		return false
 	}
 	m := stream.NewMonitor(pipe, t.d.cfg.AssemblerCfg, scfg)
 	if data := snap.Files[modelstore.FileMonitor]; len(data) > 0 {
 		if err := m.UnmarshalState(data); err != nil {
-			log.Printf("fleet: tenant %s resume: monitor snapshot: %v; starting fresh", t.ID, err)
+			t.noteResumeFallback(fmt.Sprintf("monitor snapshot: %v", err))
 			return false
 		}
 	}
 	if data := snap.Files[modelstore.FileTenant]; len(data) > 0 {
 		if err := t.restoreState(data); err != nil {
-			log.Printf("fleet: tenant %s resume: tenant snapshot: %v; starting fresh", t.ID, err)
+			t.noteResumeFallback(fmt.Sprintf("tenant snapshot: %v", err))
 			return false
 		}
 	}
@@ -207,4 +223,15 @@ func (t *Tenant) tryRestore(scfg stream.Config) bool {
 	t.monitor = m
 	t.storeGen.Store(int64(snap.Generation))
 	return true
+}
+
+// noteResumeFallback records one resume-that-started-fresh: counter
+// for /metrics and /status, stashed reason for the typed event-log
+// line newTenant appends once the log opens, and a process log line.
+// A cold start (ErrNoSnapshot) is not a fallback and never lands here.
+// Runs in newTenant before the tenant has any concurrency.
+func (t *Tenant) noteResumeFallback(reason string) {
+	t.resumeFallbacks.Add(1)
+	t.resumeFallbackReason = reason
+	log.Printf("fleet: tenant %s resume fallback: %s; starting fresh", t.ID, reason)
 }

@@ -83,6 +83,17 @@ type Tenant struct {
 	parseErrors  atomic.Int64
 	parseByClass [len(parseClasses)]atomic.Int64
 
+	// ingestGate makes checkpoints consistent with the received
+	// counter: IngestRecord holds the read side across the
+	// received.Add -> queue.Feed window, and checkpoint holds the
+	// write side across queue.Flush + marshal. Without it a checkpoint
+	// could record a received count that includes a record whose
+	// packet never reached the queue before the flush — a resuming
+	// source that trusts received_records would then skip that record
+	// forever. feedBatch (the queue sink) never takes the gate, so a
+	// reader blocked on queue backpressure cannot deadlock a writer.
+	ingestGate sync.RWMutex
+
 	// Crash-safe checkpointing into the tenant's namespaced store.
 	// ckptMu serializes checkpoints: modelstore writes are not
 	// concurrency-safe, and the shard housekeeping worker, Remove, and
@@ -93,6 +104,15 @@ type Tenant struct {
 	storeGen         atomic.Int64
 	lastCkptUnix     atomic.Int64
 	checkpointsTotal atomic.Int64
+
+	// Resume-fallback accounting: a tenant that was asked to resume
+	// but had to start fresh because its store held a broken or
+	// unusable snapshot. A cold start (no snapshot at all) is not a
+	// fallback. resumeFallbackReason is written in newTenant before
+	// the queue exists and read once the event log opens, so it needs
+	// no lock.
+	resumeFallbacks      atomic.Int64
+	resumeFallbackReason string
 
 	// Supervision state (see health.go). ckptFailures is the
 	// consecutive-failure streak pacing the retry backoff;
@@ -130,7 +150,10 @@ func (d *Daemon) newTenant(id, token string, shardIdx int, resume bool) (*Tenant
 	}
 
 	if d.cfg.StoreRoot != "" {
-		store, err := modelstore.OpenTenant(d.cfg.StoreRoot, id, modelstore.Options{FS: d.cfg.StoreFS})
+		store, err := modelstore.OpenTenant(d.cfg.StoreRoot, id, modelstore.Options{
+			FS:        d.cfg.StoreFS,
+			FullEvery: d.cfg.StoreFullEvery,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +181,17 @@ func (d *Daemon) newTenant(id, token string, shardIdx int, resume bool) (*Tenant
 		if err := t.openEventLog(filepath.Join(d.cfg.EventLogDir, id+".jsonl")); err != nil {
 			return nil, err
 		}
+	}
+	// A resume fallback happened before the event log existed; record
+	// it there now so operators have a durable trace, not just a
+	// process log line.
+	if t.resumeFallbackReason != "" && t.eventLog != nil {
+		t.ringMu.Lock()
+		t.appendEventLogLocked(eventLogLine{
+			Type: "resume-fallback", Time: time.Now().UTC(),
+			Device: "-", Detail: t.resumeFallbackReason,
+		})
+		t.ringMu.Unlock()
 	}
 
 	// The queue sink is the tenant's recycle point: feed the batch to
@@ -229,6 +263,11 @@ func (t *Tenant) IngestRecord(ts time.Time, data []byte, buf *[]byte) (err error
 			err = ErrTenantQuarantined
 		}
 	}()
+	// The gate spans the count -> enqueue window; see ingestGate. The
+	// deferred unlock runs before the recover above, so a panic cannot
+	// leave the gate held.
+	t.ingestGate.RLock()
+	defer t.ingestGate.RUnlock()
 	t.received.Add(1)
 	p := netparse.GetPacket()
 	if derr := netparse.DecodeInto(p, data); derr != nil {
@@ -396,10 +435,18 @@ func (t *Tenant) Status() map[string]any {
 		body["parse_errors_by_class"] = classes
 	}
 	if t.store != nil {
+		ws := t.store.Stats()
 		body["store_generation"] = t.storeGen.Load()
 		body["checkpoints_total"] = t.checkpointsTotal.Load()
 		body["checkpoint_failures_total"] = t.ckptFailuresTotal.Load()
+		body["checkpoint_fulls_total"] = ws.Fulls
+		body["checkpoint_deltas_total"] = ws.Deltas
+		body["checkpoint_bytes_total"] = ws.FullBytes + ws.DeltaBytes
 		body["checkpoint_age_alarm"] = t.checkpointAgeAlarm()
+		body["resume_fallbacks_total"] = t.resumeFallbacks.Load()
+		if reason := t.resumeFallbackReason; reason != "" {
+			body["resume_fallback_reason"] = reason
+		}
 		if last := t.lastCkptUnix.Load(); last > 0 {
 			body["last_checkpoint_age_seconds"] = time.Since(time.Unix(0, last)).Seconds()
 		}

@@ -1,0 +1,40 @@
+package modelstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCheckpointBytes is the delta-size ratchet's input (`make
+// bench-ratchet` runs it at a fixed iteration count): a steady stream
+// of checkpoints — a sizable snapshot drifting a little each time —
+// written through a FullEvery=8 store. The custom ckptB/op metric is
+// the average payload bytes landed per checkpoint; the payload
+// sequence is deterministic, so the metric is machine-independent and
+// any codec or cadence regression that inflates delta chains moves it.
+func BenchmarkCheckpointBytes(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{FullEvery: 8, Retain: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := bytes.Repeat([]byte("steady-state-model-bytes"), 10000) // ~240 KB
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := append([]byte(nil), base...)
+		// A scattered small edit plus an appended tail — the shape of a
+		// monitor snapshot between adjacent checkpoints.
+		copy(cur[(i*997)%(len(base)-16):], fmt.Sprintf("drift %08d", i))
+		cur = append(cur, bytes.Repeat([]byte{byte(i)}, 1+i%64)...)
+		if _, err := s.Write("bench-fp", map[string][]byte{
+			FilePipeline: base,
+			FileMonitor:  cur,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ws := s.Stats()
+	b.ReportMetric(float64(ws.FullBytes+ws.DeltaBytes)/float64(b.N), "ckptB/op")
+}

@@ -1,0 +1,222 @@
+// Differential encoding between two snapshot byte strings. The model
+// store uses Diff/Patch to persist delta generations: instead of a full
+// copy of every snapshot file, a delta generation stores only the ops
+// needed to rebuild the current bytes from the parent generation's
+// bytes.
+//
+// The format shares snapio's core properties:
+//
+//   - Determinism: Diff(prev, cur) always produces the same bytes for
+//     the same inputs, on any machine. The block index keeps only the
+//     lowest-offset block per hash, the scan is strictly left-to-right,
+//     and ties never depend on map iteration order.
+//   - Corruption safety: a delta is self-checksummed. The header pins
+//     the parent's length and CRC32C (so a delta can never be applied
+//     to the wrong parent) and the output's length and CRC32C (so a
+//     torn or bit-flipped delta can never silently reconstruct wrong
+//     bytes). Patch validates both and never allocates more than the
+//     declared output size.
+//
+// Layout (positional, like every snapio format):
+//
+//	u8      version (deltaVersion)
+//	uvarint parent length
+//	u32     parent CRC32C
+//	uvarint output length
+//	u32     output CRC32C
+//	ops until end of buffer:
+//	  u8 0 (copy)    uvarint parentOffset, uvarint length
+//	  u8 1 (literal) length-prefixed bytes
+package snapio
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	deltaVersion = 1
+
+	// deltaBlockSize is the granularity of the parent block index: the
+	// minimum run of bytes Diff can recognize as shared with the
+	// parent. Smaller blocks find more matches but cost more index
+	// space and more copy-op overhead; 64 keeps deltas small for the
+	// append-mostly, counter-bump-mostly edits snapshots actually see.
+	deltaBlockSize = 64
+
+	opCopy    = 0
+	opLiteral = 1
+)
+
+var deltaCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DeltaCRC is the checksum Diff embeds for the parent and output
+// buffers (CRC32C). Exported so store layers can cross-check the same
+// polynomial without redeclaring it.
+func DeltaCRC(b []byte) uint32 { return crc32.Checksum(b, deltaCRCTable) }
+
+// rollhash is the rsync-style weak rolling checksum over a fixed-size
+// window: cheap to slide one byte at a time, strong enough to gate the
+// exact byte comparison that confirms a match.
+type rollhash struct {
+	a, b uint32
+	n    uint32
+}
+
+func (r *rollhash) init(p []byte) {
+	r.a, r.b, r.n = 0, 0, uint32(len(p))
+	for _, c := range p {
+		r.a += uint32(c)
+		r.b += r.a
+	}
+}
+
+// roll slides the window one byte: out leaves on the left, in enters on
+// the right. All arithmetic is mod 2^32, so wraparound is consistent
+// between init and roll.
+func (r *rollhash) roll(out, in byte) {
+	r.a += uint32(in) - uint32(out)
+	r.b += r.a - r.n*uint32(out)
+}
+
+func (r *rollhash) sum() uint32 { return r.b<<16 | r.a&0xffff }
+
+// Diff computes a delta that rebuilds cur from prev. The result is
+// deterministic: identical inputs yield identical bytes. An empty or
+// short prev degrades gracefully to an all-literal delta (used for
+// files that first appear in a delta generation).
+func Diff(prev, cur []byte) []byte {
+	var w Writer
+	w.U8(deltaVersion)
+	w.Uint(uint64(len(prev)))
+	w.U32(DeltaCRC(prev))
+	w.Uint(uint64(len(cur)))
+	w.U32(DeltaCRC(cur))
+
+	// Index prev at aligned block offsets. Lowest offset wins a hash
+	// collision so the choice never depends on insertion or iteration
+	// order.
+	index := make(map[uint32]int, len(prev)/deltaBlockSize+1)
+	for off := 0; off+deltaBlockSize <= len(prev); off += deltaBlockSize {
+		var h rollhash
+		h.init(prev[off : off+deltaBlockSize])
+		s := h.sum()
+		if _, ok := index[s]; !ok {
+			index[s] = off
+		}
+	}
+
+	lit := 0 // cur[lit:i] is the pending literal run
+	i := 0
+	if len(index) > 0 && len(cur) >= deltaBlockSize {
+		var rh rollhash
+		rh.init(cur[:deltaBlockSize])
+		for i+deltaBlockSize <= len(cur) {
+			off, ok := index[rh.sum()]
+			if ok && bytes.Equal(prev[off:off+deltaBlockSize], cur[i:i+deltaBlockSize]) {
+				// Confirmed match: extend it forward byte-wise past
+				// the block boundary.
+				n := deltaBlockSize
+				for off+n < len(prev) && i+n < len(cur) && prev[off+n] == cur[i+n] {
+					n++
+				}
+				flushLiteral(&w, cur[lit:i])
+				w.U8(opCopy)
+				w.Uint(uint64(off))
+				w.Uint(uint64(n))
+				i += n
+				lit = i
+				if i+deltaBlockSize <= len(cur) {
+					rh.init(cur[i : i+deltaBlockSize])
+				}
+			} else {
+				if i+deltaBlockSize < len(cur) {
+					rh.roll(cur[i], cur[i+deltaBlockSize])
+				}
+				i++
+			}
+		}
+	}
+	flushLiteral(&w, cur[lit:])
+	return w.Bytes()
+}
+
+func flushLiteral(w *Writer, lit []byte) {
+	if len(lit) == 0 {
+		return
+	}
+	w.U8(opLiteral)
+	w.Bytes8(lit)
+}
+
+// Patch applies a delta produced by Diff to the parent bytes and
+// returns the reconstructed output. It fails (wrapping ErrCorrupt) if
+// the delta is structurally damaged, was produced against a different
+// parent, or does not reconstruct exactly the bytes it declares — a
+// torn delta can never yield silently wrong state.
+func Patch(prev, delta []byte) ([]byte, error) {
+	r := NewReader(delta)
+	v := r.U8()
+	if r.Err() == nil && v != deltaVersion {
+		return nil, fmt.Errorf("%w: unknown delta version %d", ErrCorrupt, v)
+	}
+	prevLen := r.Uint()
+	prevCRC := r.U32()
+	curLen := r.Uint()
+	curCRC := r.U32()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("snapio: delta header: %w", r.Err())
+	}
+	if uint64(len(prev)) != prevLen || DeltaCRC(prev) != prevCRC {
+		return nil, fmt.Errorf("%w: delta parent mismatch (parent is %d bytes, delta wants %d)", ErrCorrupt, len(prev), prevLen)
+	}
+
+	// Growth is bounded op-by-op against the declared output length, so
+	// a corrupt header cannot force an oversized allocation up front.
+	capHint := curLen
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
+	for r.Remaining() > 0 && r.Err() == nil {
+		switch tag := r.U8(); tag {
+		case opCopy:
+			off := r.Uint()
+			n := r.Uint()
+			if r.Err() != nil {
+				break
+			}
+			if off > uint64(len(prev)) || n > uint64(len(prev))-off {
+				return nil, fmt.Errorf("%w: delta copy [%d:%d) outside parent", ErrCorrupt, off, off+n)
+			}
+			if uint64(len(out))+n > curLen {
+				return nil, fmt.Errorf("%w: delta output exceeds declared length %d", ErrCorrupt, curLen)
+			}
+			out = append(out, prev[off:off+n]...)
+		case opLiteral:
+			b := r.Bytes8()
+			if r.Err() != nil {
+				break
+			}
+			if uint64(len(out))+uint64(len(b)) > curLen {
+				return nil, fmt.Errorf("%w: delta output exceeds declared length %d", ErrCorrupt, curLen)
+			}
+			out = append(out, b...)
+		default:
+			if r.Err() == nil {
+				return nil, fmt.Errorf("%w: unknown delta op %d", ErrCorrupt, tag)
+			}
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("snapio: delta ops: %w", r.Err())
+	}
+	if uint64(len(out)) != curLen {
+		return nil, fmt.Errorf("%w: delta output is %d bytes, declared %d", ErrCorrupt, len(out), curLen)
+	}
+	if DeltaCRC(out) != curCRC {
+		return nil, fmt.Errorf("%w: delta output fails checksum", ErrCorrupt)
+	}
+	return out, nil
+}

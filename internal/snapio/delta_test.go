@@ -1,0 +1,171 @@
+package snapio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// deltaCases are prev/cur pairs spanning the shapes checkpoint bytes
+// actually take: identical, append-only growth, prefix/middle edits,
+// total rewrites, and the degenerate empty/short buffers.
+func deltaCases() []struct {
+	name      string
+	prev, cur []byte
+} {
+	big := bytes.Repeat([]byte("behaviot-snapshot-block-"), 200)
+	edited := append([]byte(nil), big...)
+	copy(edited[1000:], "XXXX")
+	return []struct {
+		name      string
+		prev, cur []byte
+	}{
+		{"identical", big, big},
+		{"append", big, append(append([]byte(nil), big...), []byte("tail-of-new-events")...)},
+		{"middle edit", big, edited},
+		{"prepend", big, append([]byte("head"), big...)},
+		{"rewrite", big, bytes.Repeat([]byte{0x5A}, 3000)},
+		{"empty prev", nil, big},
+		{"empty cur", big, nil},
+		{"both empty", nil, nil},
+		{"short prev", []byte("tiny"), big},
+		{"short cur", big, []byte("tiny")},
+		{"both short", []byte("aaaa"), []byte("aaab")},
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	for _, tc := range deltaCases() {
+		d := Diff(tc.prev, tc.cur)
+		got, err := Patch(tc.prev, d)
+		if err != nil {
+			t.Errorf("%s: Patch: %v", tc.name, err)
+			continue
+		}
+		if !bytes.Equal(got, tc.cur) {
+			t.Errorf("%s: patched %d bytes != cur %d bytes", tc.name, len(got), len(tc.cur))
+		}
+	}
+}
+
+// TestDeltaDeterministic pins that Diff is a pure function of its
+// inputs — the store's generation bytes must be reproducible.
+func TestDeltaDeterministic(t *testing.T) {
+	for _, tc := range deltaCases() {
+		if !bytes.Equal(Diff(tc.prev, tc.cur), Diff(tc.prev, tc.cur)) {
+			t.Errorf("%s: identical Diff calls differ", tc.name)
+		}
+	}
+}
+
+// TestDeltaCompact pins the point of the codec: a small edit to a large
+// snapshot must encode far smaller than the snapshot itself.
+func TestDeltaCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prev := make([]byte, 64<<10)
+	rng.Read(prev)
+	cur := append([]byte(nil), prev...)
+	copy(cur[30000:], "a-small-in-place-edit")
+	cur = append(cur, []byte("and-a-short-appended-tail")...)
+
+	d := Diff(prev, cur)
+	if limit := len(cur) / 10; len(d) > limit {
+		t.Fatalf("delta is %d bytes for a small edit of %d (want <= %d)", len(d), len(cur), limit)
+	}
+	got, err := Patch(prev, d)
+	if err != nil || !bytes.Equal(got, cur) {
+		t.Fatalf("compact delta did not round-trip: %v", err)
+	}
+}
+
+// TestDeltaWrongParent pins that a delta refuses to apply to anything
+// but the exact parent bytes it was computed against — the chain-link
+// validation the store's Load depends on.
+func TestDeltaWrongParent(t *testing.T) {
+	prev := bytes.Repeat([]byte("parent"), 100)
+	cur := append(append([]byte(nil), prev...), "tail"...)
+	d := Diff(prev, cur)
+
+	wrong := append([]byte(nil), prev...)
+	wrong[17] ^= 0x01
+	if _, err := Patch(wrong, d); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit-flipped parent: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Patch(prev[:len(prev)-1], d); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated parent: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Patch(nil, d); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty parent: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDeltaCorruptionRejected flips every bit of a delta and truncates
+// it at every length, asserting Patch can never be tricked into
+// returning wrong bytes without an error. CRC32C catches all
+// single-bit damage, so every mutation must fail.
+func TestDeltaCorruptionRejected(t *testing.T) {
+	prev := bytes.Repeat([]byte("generation-one-"), 80)
+	cur := append(append([]byte(nil), prev[:500]...), bytes.Repeat([]byte("generation-two-"), 60)...)
+	d := Diff(prev, cur)
+
+	for i := 0; i < len(d); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), d...)
+			mut[i] ^= 1 << bit
+			if got, err := Patch(prev, mut); err == nil {
+				t.Fatalf("flip byte %d bit %d: accepted, returned %d bytes", i, bit, len(got))
+			}
+		}
+	}
+	for n := 0; n < len(d); n++ {
+		if _, err := Patch(prev, d[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(d))
+		}
+	}
+}
+
+// TestDeltaRandomized round-trips seeded random edit histories: each
+// step mutates the buffer (in-place scribbles, inserts, deletes,
+// appends) and the delta from the previous step must reconstruct it
+// exactly.
+func TestDeltaRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prev := make([]byte, 8<<10)
+	rng.Read(prev)
+	for step := 0; step < 50; step++ {
+		cur := append([]byte(nil), prev...)
+		switch rng.Intn(4) {
+		case 0: // scribble a small window
+			if len(cur) > 0 {
+				off := rng.Intn(len(cur))
+				n := min(rng.Intn(200)+1, len(cur)-off)
+				rng.Read(cur[off : off+n])
+			}
+		case 1: // insert
+			off := rng.Intn(len(cur) + 1)
+			ins := make([]byte, rng.Intn(300))
+			rng.Read(ins)
+			cur = append(cur[:off], append(ins, cur[off:]...)...)
+		case 2: // delete
+			if len(cur) > 0 {
+				off := rng.Intn(len(cur))
+				n := min(rng.Intn(300)+1, len(cur)-off)
+				cur = append(cur[:off], cur[off+n:]...)
+			}
+		case 3: // append
+			tail := make([]byte, rng.Intn(500))
+			rng.Read(tail)
+			cur = append(cur, tail...)
+		}
+		d := Diff(prev, cur)
+		got, err := Patch(prev, d)
+		if err != nil {
+			t.Fatalf("step %d: Patch: %v", step, err)
+		}
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("step %d: round trip mismatch (%d vs %d bytes)", step, len(got), len(cur))
+		}
+		prev = cur
+	}
+}
